@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Each benchmark runs one figure/table's experiment sweep exactly once
+(simulations are deterministic — repetition only measures the host), prints
+the measured-vs-paper table, and asserts the paper's qualitative shape.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment a single deterministic time under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,57 @@
+"""Design-choice ablations called out in DESIGN.md."""
+
+from repro.bench.figures import (
+    ablate_eager_threshold,
+    ablate_handler_cost,
+    ablate_hpus,
+    ablate_mtu,
+)
+
+
+def test_ablate_hpu_count(run_once):
+    table = run_once(ablate_hpus)
+    print("\n" + table.render())
+    rows = {r.cells["hpus"]: r.cells for r in table.rows}
+    # More HPUs never slower.
+    times = [rows[h]["completion_us"] for h in (1, 2, 4, 8, 16)]
+    assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+    # The accumulate handler is compute-bound (1.5 cycles/B ⇒ Fig 4 says
+    # ~30 HPUs for line rate), so scaling stays near-linear through 8 HPUs.
+    assert rows[4]["speedup_vs_1"] > 3.0
+    assert rows[8]["speedup_vs_1"] > 6.0
+    # And 16 HPUs still help — exactly Little's law for T ≈ 2.5 us/packet.
+    assert rows[16]["completion_us"] < rows[8]["completion_us"]
+
+
+def test_ablate_handler_cost(run_once):
+    table = run_once(ablate_handler_cost)
+    print("\n" + table.render())
+    rows = [r.cells for r in table.rows]
+    lat = [r["latency_us"] for r in rows]
+    cpb = [r["cycles_per_byte"] for r in rows]
+    # Latency is monotone in handler cycles/byte...
+    assert lat == sorted(lat)
+    # ...and the increments follow the cycle model: each extra cycle/byte
+    # on a 4 KiB packet adds ~4096 cycles = ~1.64 us at 2.5 GHz.
+    for (c0, l0), (c1, l1) in zip(zip(cpb, lat), zip(cpb[1:], lat[1:])):
+        expected = (c1 - c0) * 4096 / 2.5 / 1000  # us
+        assert abs((l1 - l0) - expected) < 0.15 * expected + 0.05
+
+
+def test_ablate_mtu(run_once):
+    table = run_once(ablate_mtu)
+    print("\n" + table.render())
+    rows = {r.cells["mtu_B"]: r.cells["half_rtt_us"] for r in table.rows}
+    # Tiny MTUs pay per-packet costs; the paper's 4 KiB is near-optimal
+    # (within 10% of the best measured point).
+    assert rows[1024] > rows[2048]
+    assert rows[4096] <= min(rows.values()) * 1.10
+
+
+def test_ablate_eager_threshold(run_once):
+    table = run_once(ablate_eager_threshold)
+    print("\n" + table.render())
+    rows = {r.cells["threshold_B"]: r.cells for r in table.rows}
+    # With 48 KiB halos forced eager (64 KiB threshold) the rendezvous
+    # overlap disappears and the speedup collapses.
+    assert rows[65536]["spdup_%"] < rows[16384]["spdup_%"] / 2

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Offloaded MPI message matching on a real application pattern (§5.1).
+
+Runs the MILC-like 4-D halo-exchange trace under the CPU-progressed RDMA
+protocol and under sPIN's handler-issued rendezvous gets, reproducing a
+Table 5c row, then shows the raw overlap effect on a single large message.
+
+Run:  python examples/mpi_offload.py
+"""
+
+from repro.apps import matching_speedup, milc_trace
+from repro.des import ns
+from repro.experiments.common import pair_cluster
+from repro.machine.config import integrated_config
+from repro.runtime import MPIEndpoint
+
+
+def overlap_demo() -> None:
+    """One 128 KiB rendezvous under compute: who pays for the transfer?"""
+    print("128 KiB rendezvous receive overlapped with 400 us of compute:")
+    for protocol in ("rdma", "p4", "spin"):
+        cluster = pair_cluster(integrated_config(), with_memory=False)
+        env = cluster.env
+        a = MPIEndpoint(cluster[0], protocol)
+        b = MPIEndpoint(cluster[1], protocol)
+        wait_cost = {}
+
+        def sender():
+            req = yield from a.send(1, 1 << 17, tag=1)
+            yield from a.wait(req)
+
+        def receiver():
+            req = yield from b.recv(0, 1 << 17, tag=1)
+            yield from b.machine.cpu.run(ns(400_000), "compute")
+            t0 = env.now
+            yield from b.wait(req)
+            wait_cost["ns"] = (env.now - t0) / 1000
+
+        env.process(sender())
+        proc = env.process(receiver())
+        env.run(until=proc)
+        cluster.run()
+        print(f"  {protocol:5s}: wait() blocked for {wait_cost['ns']:8.1f} ns")
+    print("(sPIN's header handler issued the get at RTS arrival — the")
+    print(" transfer finished during the computation; §5.1's full overlap)\n")
+
+
+def table5c_row() -> None:
+    sched = milc_trace(nprocs=16, iters=4)
+    row = matching_speedup(sched)
+    print(f"MILC-like trace, 16 ranks, {row['messages']} messages:")
+    print(f"  pt2pt overhead: {row['ovhd_percent']:.1f}%  "
+          f"(paper: 5.5% at 64 ranks)")
+    print(f"  offloading speedup: {row['speedup_percent']:.1f}%  "
+          f"(paper: 3.6%)")
+
+
+if __name__ == "__main__":
+    overlap_demo()
+    table5c_row()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Distributed RAID-5 storage with NIC-offloaded parity (§5.3).
+
+Builds a 4+1 RAID-5 array, writes real data through both protocols,
+verifies parity with numpy, and replays a synthetic SPC financial trace to
+reproduce the paper's processing-time improvements.
+
+Run:  python examples/raid_storage.py
+"""
+
+from repro.storage import (
+    RaidCluster,
+    generate_financial_trace,
+    generate_websearch_trace,
+    replay_trace_ns,
+)
+
+
+def main() -> None:
+    # --- correctness: both protocols maintain p' = p ⊕ n ⊕ n' -------------
+    for mode in ("rdma", "spin"):
+        raid = RaidCluster(mode, "int", region_bytes=64 * 1024,
+                           with_memory=True)
+        env = raid.env
+
+        def writes():
+            yield from raid.client_write(16 * 1024, offset=0)
+            yield from raid.client_write(8 * 1024, offset=4096)
+
+        proc = env.process(writes())
+        env.run(until=proc)
+        raid.cluster.run()
+        print(f"{mode:5s} protocol: parity verified = {raid.verify()}")
+        assert raid.verify()
+
+    # --- sPIN leaves the server CPUs idle ---------------------------------
+    raid = RaidCluster("spin", "int", region_bytes=64 * 1024)
+    env = raid.env
+    proc = env.process(raid.client_write(32 * 1024))
+    env.run(until=proc)
+    busy = sum(n.cpu.busy_ps for n in raid.data_nodes) + raid.parity_node.cpu.busy_ps
+    print(f"sPIN write: total server CPU busy time = {busy} ps (fully offloaded)")
+
+    # --- §5.3 trace replay -----------------------------------------------
+    print("\nSPC trace replay (40-op synthetic traces):")
+    for name, gen in (("financial", generate_financial_trace),
+                      ("websearch", generate_websearch_trace)):
+        for config in ("int", "dis"):
+            trace = gen(nops=40, seed=11)
+            rdma = replay_trace_ns(trace, "rdma", config)
+            spin = replay_trace_ns(trace, "spin", config)
+            print(f"  {name:10s} {config}: {100 * (rdma - spin) / rdma:5.1f}% faster "
+                  f"({rdma / 1000:.0f} us -> {spin / 1000:.0f} us)")
+    print("(paper: improvements between 2.8% and 43.7%, best = int + financial)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Trace-driven application simulation (the LogGOPSim front end).
+
+* :mod:`repro.apps.goal` — GOAL-like per-rank operation schedules
+  (calc / send / recv / waitall), the input format of the executor;
+* :mod:`repro.apps.tracegen` — synthetic communication traces reproducing
+  the structure of the paper's four applications (MILC, POP, coMD,
+  Cloverleaf);
+* :mod:`repro.apps.simulator` — executes a schedule over the simulated
+  cluster under a matching protocol and reports runtime, communication
+  overhead, and the offloading speedup (Table 5c).
+"""
+
+from repro.apps.goal import Op, Schedule, calc, recv, send, waitall
+from repro.apps.simulator import AppResult, matching_speedup, run_schedule
+from repro.apps.tracegen import (
+    APP_TRACES,
+    cloverleaf_trace,
+    comd_trace,
+    milc_trace,
+    pop_trace,
+)
+
+__all__ = [
+    "APP_TRACES",
+    "AppResult",
+    "Op",
+    "Schedule",
+    "calc",
+    "cloverleaf_trace",
+    "comd_trace",
+    "matching_speedup",
+    "milc_trace",
+    "pop_trace",
+    "recv",
+    "run_schedule",
+    "send",
+    "waitall",
+]

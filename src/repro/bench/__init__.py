@@ -1,0 +1,54 @@
+"""Benchmark harness: regenerates every table and figure of the evaluation.
+
+``python -m repro.bench <target>`` prints the measured rows next to the
+paper's reported values; targets:
+
+=============  ==========================================================
+``fig3b``      ping-pong half-RTT, integrated NIC
+``fig3c``      ping-pong half-RTT, discrete NIC
+``fig3d``      remote accumulate completion time (int + dis)
+``fig4``       HPUs needed for line rate (Little's law)
+``fig5a``      binomial broadcast latency vs process count
+``fig5b``      matching-protocol timelines (cases I–IV)
+``tab5c``      full-application matching speedups
+``fig7a``      strided-datatype receive bandwidth
+``fig7b``      RAID write-protocol timeline
+``fig7c``      RAID-5 update completion time
+``spc``        SPC trace replay speedups (§5.3)
+``ablate``     design-choice ablations (HPU count, handler cost, ...)
+``all``        everything above
+=============  ==========================================================
+"""
+
+from repro.bench.figures import (
+    ablate_handler_cost,
+    ablate_hpus,
+    fig3_pingpong,
+    fig3d_accumulate,
+    fig4_hpus,
+    fig5a_broadcast,
+    fig5b_timelines,
+    fig7a_datatype,
+    fig7b_timeline,
+    fig7c_raid,
+    spc_traces,
+    tab5c_apps,
+)
+from repro.bench.harness import Row, Table
+
+__all__ = [
+    "Row",
+    "Table",
+    "ablate_handler_cost",
+    "ablate_hpus",
+    "fig3_pingpong",
+    "fig3d_accumulate",
+    "fig4_hpus",
+    "fig5a_broadcast",
+    "fig5b_timelines",
+    "fig7a_datatype",
+    "fig7b_timeline",
+    "fig7c_raid",
+    "spc_traces",
+    "tab5c_apps",
+]

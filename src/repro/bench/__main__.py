@@ -1,0 +1,62 @@
+"""CLI: ``python -m repro.bench <target> [--full]`` regenerates figures."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import figures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the sPIN paper's tables and figures.",
+    )
+    parser.add_argument("target", nargs="?", default="all",
+                        help="fig3a fig3b fig3c fig3d fig4 fig5a fig5b "
+                             "tab5c fig7a fig7b fig7c spc ablate all")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale sweeps (slower)")
+    args = parser.parse_args(argv)
+
+    targets = {
+        "fig3a": lambda: print(figures.fig3a_timelines()),
+        "fig3b": lambda: print(figures.fig3_pingpong("int", args.full).render()),
+        "fig3c": lambda: print(figures.fig3_pingpong("dis", args.full).render()),
+        "fig3d": lambda: print(figures.fig3d_accumulate(args.full).render()),
+        "fig4": lambda: print(figures.fig4_hpus(args.full).render()),
+        "fig5a": lambda: print(figures.fig5a_broadcast("dis", args.full).render()),
+        "fig5b": lambda: print(figures.fig5b_timelines()),
+        "tab5c": lambda: print(figures.tab5c_apps(full=args.full).render()),
+        "fig7a": lambda: print(figures.fig7a_datatype(args.full).render()),
+        "fig7b": lambda: print(figures.fig7b_timeline()),
+        "fig7c": lambda: print(figures.fig7c_raid(args.full).render()),
+        "spc": lambda: print(figures.spc_traces(args.full).render()),
+        "ablate": lambda: (
+            print(figures.ablate_hpus(args.full).render()),
+            print(),
+            print(figures.ablate_handler_cost(args.full).render()),
+            print(),
+            print(figures.ablate_mtu(args.full).render()),
+            print(),
+            print(figures.ablate_eager_threshold(args.full).render()),
+        ),
+    }
+    if args.target == "all":
+        chosen = list(targets)
+    elif args.target in targets:
+        chosen = [args.target]
+    else:
+        parser.error(f"unknown target {args.target!r}")
+        return 2
+    for name in chosen:
+        t0 = time.time()
+        targets[name]()
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Table formatting and shape checking for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+__all__ = ["Row", "Table"]
+
+
+@dataclass
+class Row:
+    """One result row: arbitrary cells plus an optional paper reference."""
+
+    cells: dict[str, Any]
+    paper: Optional[str] = None
+
+
+@dataclass
+class Table:
+    """A printable experiment result table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, paper: Optional[str] = None, **cells: Any) -> None:
+        self.rows.append(Row(cells=cells, paper=paper))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def _fmt(self, value: Any) -> str:
+        if isinstance(value, float):
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            return f"{value:.2f}"
+        return str(value)
+
+    def render(self) -> str:
+        cols = list(self.columns)
+        has_paper = any(r.paper for r in self.rows)
+        if has_paper:
+            cols = cols + ["paper"]
+        widths = {c: len(c) for c in cols}
+        body = []
+        for row in self.rows:
+            cells = {c: self._fmt(row.cells.get(c, "")) for c in self.columns}
+            if has_paper:
+                cells["paper"] = row.paper or ""
+            for c in cols:
+                widths[c] = max(widths[c], len(cells[c]))
+            body.append(cells)
+        sep = "-+-".join("-" * widths[c] for c in cols)
+        lines = [
+            f"== {self.title} ==",
+            " | ".join(f"{c:>{widths[c]}}" for c in cols),
+            sep,
+        ]
+        for cells in body:
+            lines.append(" | ".join(f"{cells[c]:>{widths[c]}}" for c in cols))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,55 @@
+"""The paper's reported numbers, for measured-vs-paper comparison.
+
+Values read off the SC'17 figures/tables; where a figure only supports
+reading a trend, the entry records the *shape expectation* the measured
+data must satisfy (winner, crossover, rough factor).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIG3_SMALL_MSG_NS",
+    "FIG4_POINTS",
+    "FIG7A_GIBS",
+    "TAB5C",
+    "SPC_IMPROVEMENT_RANGE",
+]
+
+#: Fig 3b/3c insets: half round-trip time (ns) for small (~8 B) messages.
+FIG3_SMALL_MSG_NS = {
+    "int": {"rdma": 800.0, "p4": 750.0, "spin": 650.0},
+    "dis": {"rdma": 1400.0, "p4": 1200.0, "spin": 1000.0},
+}
+
+#: §4.4.2 derived quantities.
+FIG4_POINTS = {
+    "g_over_G_bytes": 335.0,
+    "hat_Ts_ns_8hpus": 53.0,
+    "hat_Tl_ns_4096": 650.0,
+    "delta_min_mmps": 12.5,
+    "delta_max_mmps": 150.0,
+}
+
+#: Fig 7a annotations: sustained unpack bandwidth, GiB/s.
+FIG7A_GIBS = {
+    "rdma_low": 8.7,
+    "rdma_high": 11.44,
+    "spin_line_rate": 46.3,
+    "spin_knee_blocksize": 256,
+}
+
+#: Table 5c: program → (procs, messages, pt2pt overhead %, speedup %).
+TAB5C = {
+    "MILC": (64, 5_743_212, 5.5, 3.6),
+    "POP": (64, 772_063_149, 3.1, 0.7),
+    "coMD": (72, 5_337_575, 6.1, 3.7),
+    "Cloverleaf": (72, 2_677_705, 5.2, 2.8),
+}
+
+#: §5.3: sPIN improves trace processing time between 2.8 % and 43.7 %,
+#: with the largest gain on the integrated NIC + financial traces.
+SPC_IMPROVEMENT_RANGE = (2.8, 43.7)
+
+#: §4.4.3: integrated-NIC broadcast at 1024 processes: sPIN 7 % faster
+#: than RDMA and 5 % faster than Portals 4.
+FIG5A_INT_1024 = {"vs_rdma": 0.07, "vs_p4": 0.05}

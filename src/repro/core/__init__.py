@@ -1,0 +1,46 @@
+"""sPIN core: the paper's primary contribution.
+
+Implements streaming Processing in the Network on top of the machine and
+Portals substrates:
+
+* the handler programming model — header / payload / completion handlers
+  with the Appendix-B return codes and actions (:mod:`repro.core.handlers`,
+  :mod:`repro.core.actions`);
+* HPU memory and the HPU execution-unit pool (:mod:`repro.core.hpu`);
+* the sPIN-capable NIC runtime: packet scheduling onto HPUs, handler
+  ordering, flow control and dropped-byte accounting
+  (:mod:`repro.core.nic`);
+* the P4sPIN user API — ``PtlHPUAllocMem``, handler-extended
+  ``PtlMEAppend``, and the ``connect()`` channel sugar from §1
+  (:mod:`repro.core.api`, :mod:`repro.core.channel`);
+* the handler cycle-cost model standing in for gem5
+  (:mod:`repro.core.costmodel`).
+"""
+
+from repro.core.costmodel import HandlerCostModel
+from repro.core.handlers import HandlerError, HandlerSet, HPUMemory, ReturnCode
+from repro.core.hpu import HPUPool
+from repro.core.actions import HandlerContext
+from repro.core.nic import SpinNIC
+from repro.core.api import (
+    PtlHPUAllocMem,
+    PtlHPUFreeMem,
+    spin_me,
+)
+from repro.core.channel import Channel, connect
+
+__all__ = [
+    "Channel",
+    "HPUMemory",
+    "HPUPool",
+    "HandlerContext",
+    "HandlerCostModel",
+    "HandlerError",
+    "HandlerSet",
+    "PtlHPUAllocMem",
+    "PtlHPUFreeMem",
+    "ReturnCode",
+    "SpinNIC",
+    "connect",
+    "spin_me",
+]

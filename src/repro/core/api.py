@@ -1,0 +1,91 @@
+"""The P4sPIN user-facing API (Appendix B.1/B.2).
+
+* :func:`PtlHPUAllocMem` / :func:`PtlHPUFreeMem` — explicit HPU memory
+  management from the host (HPU memory may be shared by several MEs and
+  stays valid until freed);
+* :func:`spin_me` — builds a :class:`~repro.portals.matching.MatchEntry`
+  with the handler extension fields of the extended ``ptl_me_t``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.handlers import HandlerSet, HPUMemory
+from repro.portals.limits import NILimits
+from repro.portals.matching import MatchEntry
+from repro.portals.types import ANY_SOURCE, ME_OP_PUT
+
+__all__ = ["PtlHPUAllocMem", "PtlHPUFreeMem", "spin_me"]
+
+
+def PtlHPUAllocMem(machine_or_limits, length: int) -> HPUMemory:
+    """Allocate ``length`` bytes of HPU memory on a device.
+
+    Accepts a :class:`~repro.machine.cluster.Machine` (validates against its
+    NI limits) or a bare :class:`~repro.portals.limits.NILimits`.
+    """
+    limits = (
+        machine_or_limits
+        if isinstance(machine_or_limits, NILimits)
+        else machine_or_limits.ni.limits
+    )
+    limits.validate_hpu_alloc(length)
+    return HPUMemory(length)
+
+
+def PtlHPUFreeMem(mem: HPUMemory) -> None:
+    """Release HPU memory; later accesses raise (use-after-free guard)."""
+    mem.freed = True
+
+
+def spin_me(
+    match_bits: int = 0,
+    ignore_bits: int = 0,
+    source: int = ANY_SOURCE,
+    options: int = ME_OP_PUT,
+    start: int = 0,
+    length: int = 0,
+    counter=None,
+    event_queue=None,
+    user_ptr=None,
+    header_handler: Optional[Callable] = None,
+    payload_handler: Optional[Callable] = None,
+    completion_handler: Optional[Callable] = None,
+    hpu_memory: Optional[HPUMemory] = None,
+    initial_state: Optional[bytes] = None,
+    host_mem_start: int = 0,
+    host_mem_length: int = 0,
+    user_hdr_size: int = 0,
+    params: Optional[dict] = None,
+) -> MatchEntry:
+    """Build a handler-extended matching entry (PtlMEAppend's ptl_me_t).
+
+    With no handlers given this degrades to a plain Portals ME — matching
+    the spec's note that the handler sub-struct may be NULL.
+    """
+    handler_set = None
+    if any((header_handler, payload_handler, completion_handler, hpu_memory)):
+        handler_set = HandlerSet(
+            header_handler=header_handler,
+            payload_handler=payload_handler,
+            completion_handler=completion_handler,
+            hpu_memory=hpu_memory,
+            initial_state=initial_state,
+            host_mem_start=host_mem_start,
+            host_mem_length=host_mem_length,
+            user_hdr_size=user_hdr_size,
+            params=params or {},
+        )
+    return MatchEntry(
+        match_bits=match_bits,
+        ignore_bits=ignore_bits,
+        source=source,
+        options=options,
+        start=start,
+        length=length,
+        counter=counter,
+        event_queue=event_queue,
+        user_ptr=user_ptr,
+        spin=handler_set,
+    )

@@ -1,0 +1,84 @@
+"""The ``connect()`` channel API from §1's code sample.
+
+A channel installs the three handlers for messages from one peer, with
+handler-shared HPU memory, and returns a channel id — a single process can
+install different handlers per connection.  This is syntactic sugar over
+:func:`repro.core.api.spin_me` + ``PtlMEAppend``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.api import PtlHPUAllocMem, spin_me
+from repro.portals.matching import MatchEntry
+from repro.portals.types import ANY_SOURCE
+
+__all__ = ["Channel", "connect"]
+
+_channel_ids = itertools.count(1)
+
+
+@dataclass
+class Channel:
+    """An installed handler channel (channel_id_t)."""
+
+    channel_id: int
+    machine: object
+    entry: MatchEntry
+
+    @property
+    def hpu_memory(self):
+        return self.entry.spin.hpu_memory if self.entry.spin else None
+
+    def close(self) -> None:
+        """Uninstall the channel's matching entry."""
+        self.machine.ni.me_unlink(self.entry_pt_index, self.entry)
+
+    entry_pt_index: int = 0
+
+
+def connect(
+    machine,
+    peer: int = ANY_SOURCE,
+    header_handler: Optional[Callable] = None,
+    payload_handler: Optional[Callable] = None,
+    completion_handler: Optional[Callable] = None,
+    hpu_mem_bytes: int = 4096,
+    match_bits: int = 0,
+    ignore_bits: int = 0,
+    pt_index: int = 0,
+    start: int = 0,
+    length: int = 0,
+    event_queue=None,
+    counter=None,
+    params: Optional[dict] = None,
+) -> Channel:
+    """Install handlers for messages from ``peer`` (the §1 code sample).
+
+    Allocates the shared HPU memory, builds the handler-extended ME, and
+    appends it to the portal table.
+    """
+    hpu_memory = PtlHPUAllocMem(machine, hpu_mem_bytes)
+    entry = spin_me(
+        match_bits=match_bits,
+        ignore_bits=ignore_bits,
+        source=peer,
+        start=start,
+        length=length,
+        counter=counter,
+        event_queue=event_queue,
+        header_handler=header_handler,
+        payload_handler=payload_handler,
+        completion_handler=completion_handler,
+        hpu_memory=hpu_memory,
+        params=params,
+    )
+    machine.post_me(pt_index, entry)
+    channel = Channel(
+        channel_id=next(_channel_ids), machine=machine, entry=entry,
+        entry_pt_index=pt_index,
+    )
+    return channel

@@ -1,0 +1,77 @@
+"""Handler processing units (HPUs) and their scheduling pool.
+
+The simulated NIC has ``hpu_count`` identical in-order cores (§4.2: four
+2.5 GHz ARM Cortex-A15-class units).  Packets waiting for a free HPU queue
+FIFO; the queue depth is the flow-control trigger — if more packets are
+pending than the NIC can buffer, the portal table entry is disabled and
+packets are dropped (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.des.engine import Environment
+from repro.des.resources import Store
+from repro.des.trace import Timeline
+
+__all__ = ["HPUPool"]
+
+
+class HPUPool:
+    """FIFO pool of HPU execution contexts, identified by index."""
+
+    def __init__(
+        self,
+        env: Environment,
+        count: int,
+        rank: int = 0,
+        timeline: Optional[Timeline] = None,
+    ):
+        if count < 1:
+            raise ValueError("need at least one HPU")
+        self.env = env
+        self.count = count
+        self.rank = rank
+        self.timeline = timeline or Timeline(enabled=False)
+        self._free = Store(env)
+        for i in range(count):
+            self._free.put(i)
+        self._waiting = 0
+        self.handlers_run = 0
+        self.busy_ps = 0
+
+    @property
+    def waiting(self) -> int:
+        """Packets currently queued for an HPU (flow-control signal)."""
+        return self._waiting
+
+    @property
+    def idle(self) -> int:
+        return len(self._free)
+
+    def acquire(self) -> Generator[object, object, int]:
+        """Wait for a free HPU; returns its index."""
+        self._waiting += 1
+        try:
+            hpu_id = yield self._free.get()
+        finally:
+            self._waiting -= 1
+        return hpu_id
+
+    def release(self, hpu_id: int) -> None:
+        if not 0 <= hpu_id < self.count:
+            raise ValueError(f"bad HPU id {hpu_id}")
+        self._free.put(hpu_id)
+
+    def record(self, hpu_id: int, start: int, end: int, label: str) -> None:
+        """Account one handler execution on the timeline."""
+        self.handlers_run += 1
+        self.busy_ps += end - start
+        self.timeline.record(self.rank, f"HPU{hpu_id}", start, end, label)
+
+    def utilization(self, elapsed: Optional[int] = None) -> float:
+        elapsed = self.env.now if elapsed is None else elapsed
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_ps / (elapsed * self.count)

@@ -1,0 +1,235 @@
+"""The sPIN NIC runtime: handler dispatch, HPU scheduling, flow control.
+
+Extends the baseline Portals NIC (Fig. 1's architecture): matched messages
+whose ME carries a :class:`~repro.core.handlers.HandlerSet` are processed by
+handlers on the HPU pool instead of being deposited blindly:
+
+1. the **header handler** runs exactly once, before anything else;
+2. its return code steers the message — PROCEED takes the default deposit
+   path, PROCESS_DATA invokes **payload handlers** per packet (parallel
+   across HPUs), DROP discards the rest of the message;
+3. after all payload handlers finished and the whole message arrived, the
+   **completion handler** runs, then (unless a PENDING code was returned)
+   the ME completes toward the host (counter, event, ACK).
+
+Flow control (§3.2): when the HPU input queue exceeds the NIC's buffering,
+the portal table entry is disabled, further packets are dropped and
+accounted in ``dropped_bytes``, and the completion handler sees
+``flow_control_triggered=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.actions import HandlerContext
+from repro.core.costmodel import HandlerCostModel
+from repro.core.handlers import HandlerError, HandlerSet, ReturnCode
+from repro.core.hpu import HPUPool
+from repro.machine.nic import BaselineNIC, _MessageRx
+from repro.network.packets import Packet
+from repro.portals.events import PortalsEvent
+from repro.portals.types import EventKind
+
+__all__ = ["SpinNIC"]
+
+
+class SpinNIC(BaselineNIC):
+    """A NIC with sPIN handler processing units."""
+
+    def __init__(self, env, machine, cost_model: Optional[HandlerCostModel] = None):
+        super().__init__(env, machine)
+        self.hpus = HPUPool(
+            env, self.params.hpu_count, rank=self.rank, timeline=self.timeline
+        )
+        self.cost = cost_model or HandlerCostModel()
+        self.handler_errors: list[tuple[str, ReturnCode]] = []
+        self.flow_control_trips = 0
+
+    # -- header path -------------------------------------------------------
+    def _on_header_matched(self, state: _MessageRx, pkt: Packet) -> Generator:
+        match = state.match
+        msg = state.message
+        if (
+            match is None
+            or not match.matched
+            or match.entry.spin is None
+            or msg.kind not in ("put", "atomic")
+        ):
+            state.extra["mode"] = "baseline"
+            return
+        hs: HandlerSet = match.entry.spin
+        hs.ensure_state()
+        state.extra.update(
+            hs=hs,
+            mode="undecided",
+            flow_ctl=False,
+            pending=False,
+            handler_events=[],
+            error_raised=False,
+        )
+        header_done = self.env.event()
+        state.extra["header_done"] = header_done
+
+        if hs.header_handler is None:
+            code = (
+                ReturnCode.PROCESS_DATA
+                if hs.payload_handler is not None
+                else ReturnCode.PROCEED
+            )
+        else:
+            code = yield from self._run_handler(
+                state, "hh", hs.header_handler, msg
+            )
+        state.extra["pending"] = state.extra["pending"] or code.is_pending
+        if code.is_error or code.drops_message:
+            state.extra["mode"] = "drop"
+        elif code.proceeds:
+            state.extra["mode"] = "proceed"
+        elif code.processes_data:
+            state.extra["mode"] = "process"
+        else:
+            raise HandlerError(f"invalid header-handler return code {code}")
+        header_done.succeed(state.extra["mode"])
+
+    # -- per-packet path ---------------------------------------------------
+    def _deliver_packet(self, state: _MessageRx, pkt: Packet) -> Generator:
+        mode = state.extra.get("mode", "baseline")
+        if mode == "baseline":
+            yield from super()._deliver_packet(state, pkt)
+            return
+        if mode == "undecided":
+            # The header handler has not finished yet; payload packets wait
+            # (no payload handler may start before the header handler ends).
+            yield state.extra["header_done"]
+            mode = state.extra["mode"]
+        if mode == "proceed":
+            yield from self._deposit_put_packet(state, pkt)
+            return
+        if mode == "drop":
+            state.dropped_bytes += pkt.payload_len
+            return
+        # mode == "process": payload handlers (packets without payload skip).
+        if pkt.payload_len == 0:
+            state.bytes_seen += 0
+            return
+        pt = self._pt_for(state.message)
+        if pt is not None and not pt.enabled:
+            state.dropped_bytes += pkt.payload_len
+            state.extra["flow_ctl"] = True
+            pt.record_drop(pkt.payload_len)
+            return
+        if self.hpus.waiting >= self.params.max_pending_packets:
+            # No HPU execution contexts: trip flow control (§3.2).
+            state.dropped_bytes += pkt.payload_len
+            state.extra["flow_ctl"] = True
+            self.flow_control_trips += 1
+            if pt is not None:
+                pt.record_drop(pkt.payload_len)
+                pt.disable()
+            return
+        state.bytes_seen += pkt.payload_len
+        proc = self.env.process(
+            self._payload_proc(state, pkt), name=f"ph[{self.rank}]"
+        )
+        state.extra["handler_events"].append(proc)
+
+    def _payload_proc(self, state: _MessageRx, pkt: Packet) -> Generator:
+        hs: HandlerSet = state.extra["hs"]
+        code = yield from self._run_handler(state, "ph", hs.payload_handler, pkt)
+        if code.drops_message or code.is_error:
+            # Payload DROP: this packet's bytes are discarded.
+            state.bytes_seen -= pkt.payload_len
+            state.dropped_bytes += pkt.payload_len
+
+    # -- completion path ----------------------------------------------------
+    def _finish_message(self, state: _MessageRx) -> Generator:
+        mode = state.extra.get("mode", "baseline")
+        if mode == "baseline":
+            yield from super()._finish_message(state)
+            return
+        msg = state.message
+        handler_events = state.extra.get("handler_events", [])
+        if handler_events:
+            yield self.env.all_of(handler_events)
+        if state.dma_events:
+            yield self.env.all_of(state.dma_events)
+            state.dma_events = []
+        self.messages_received += 1
+
+        hs: HandlerSet = state.extra["hs"]
+        if hs.completion_handler is not None:
+            code = yield from self._run_handler(
+                state,
+                "ch",
+                hs.completion_handler,
+                state.dropped_bytes,
+                state.extra["flow_ctl"],
+            )
+            state.extra["pending"] = state.extra["pending"] or code.is_pending
+        if state.dma_events:
+            # Writes issued by the completion handler must land before the
+            # host sees the completion event.
+            yield self.env.all_of(state.dma_events)
+        if not state.extra["pending"]:
+            yield from self._complete_put(state)
+
+    # -- handler execution ------------------------------------------------
+    def _run_handler(
+        self, state: _MessageRx, label: str, fn, *args
+    ) -> Generator[object, object, ReturnCode]:
+        hpu_id = yield from self.hpus.acquire()
+        ctx = HandlerContext(self, state.extra["hs"], state, hpu_id)
+        ctx.charge(self.cost.invoke_cycles)
+        start = self.env.now
+        try:
+            result = fn(ctx, *args)
+            if hasattr(result, "send"):  # generator handler
+                code = yield from result
+            else:
+                code = result
+            if code is None:
+                code = ReturnCode.SUCCESS
+            if not isinstance(code, ReturnCode):
+                raise HandlerError(
+                    f"handler returned {code!r}, expected a ReturnCode"
+                )
+        except HandlerError:
+            code = ReturnCode.SEGV
+        ctx.charge(self.cost.return_cycles)
+        yield from ctx.elapse()
+
+        if self.cost.enforce_cycle_budget and not code.is_error:
+            budget = self.cost.budget_for(
+                getattr(args[0], "payload_len", 0) if args else 0,
+                self.machine.ni.limits.max_cycles_per_byte,
+            )
+            if ctx.total_cycles > budget:
+                # §7: kill over-budget handlers and move into flow control.
+                code = ReturnCode.FAIL
+                pt = self._pt_for(state.message)
+                if pt is not None:
+                    pt.disable()
+                state.extra["flow_ctl"] = True
+                self.flow_control_trips += 1
+
+        self.hpus.record(hpu_id, start, self.env.now, label)
+        self.hpus.release(hpu_id)
+        state.dma_events.extend(ctx.dma_completions)
+
+        if code.is_error and not state.extra.get("error_raised"):
+            # Only the first error is reported in the event queue (§B.3).
+            state.extra["error_raised"] = True
+            self.handler_errors.append((label, code))
+            entry = state.match.entry
+            if entry.event_queue is not None:
+                entry.event_queue.push(
+                    PortalsEvent(
+                        kind=EventKind.HANDLER_ERROR,
+                        initiator=state.message.source,
+                        match_bits=state.message.match_bits,
+                        when_ps=self.env.now,
+                        meta={"handler": label, "code": code.value},
+                    )
+                )
+        return code

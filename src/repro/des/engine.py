@@ -1,0 +1,450 @@
+"""Core discrete-event engine: environment, events, processes.
+
+The design follows SimPy's proven architecture (events with callback lists,
+generator-based processes) but is intentionally minimal: only the features the
+sPIN simulation needs are implemented, and the whole kernel is small enough to
+be audited in one sitting.
+
+Units
+-----
+All timestamps and delays are integer **picoseconds**.  Use :func:`ns` /
+:func:`us` to build delays from the paper's nanosecond/microsecond constants
+and :func:`ps_to_ns` / :func:`ps_to_us` to convert results back for reporting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "ns",
+    "ps_to_ns",
+    "ps_to_us",
+    "us",
+]
+
+#: Scheduling priorities: URGENT events at the same timestamp run before
+#: NORMAL ones.  Used by the kernel itself (process resumption) — model code
+#: rarely needs anything but NORMAL.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds (round-to-nearest)."""
+    return round(value * 1_000)
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer picoseconds (round-to-nearest)."""
+    return round(value * 1_000_000)
+
+
+def ps_to_ns(value: int) -> float:
+    """Convert integer picoseconds to float nanoseconds."""
+    return value / 1_000
+
+
+def ps_to_us(value: int) -> float:
+    """Convert integer picoseconds to float microseconds."""
+    return value / 1_000_000
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the kernel (double-trigger, bad yields, ...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting cause is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "not yet triggered" from a triggered None value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it, which schedules all registered callbacks to run at the
+    current simulation time.  Triggering twice is an error.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection --------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire (or has fired)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or the exception for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, PRIORITY_NORMAL, 0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see the exception."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, PRIORITY_NORMAL, 0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self._defused = True
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, PRIORITY_NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: kicks off a new process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, PRIORITY_URGENT, 0)
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator ends.
+
+    The generator yields :class:`Event` instances; each yield suspends the
+    process until the event fires, at which point the event's value is sent
+    back into the generator (or its exception thrown).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Any, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, PRIORITY_URGENT, 0)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        env = self.env
+        if self._target is not None and self._target is not event:
+            # We were interrupted while waiting for _target; detach so the
+            # stale wakeup does not resume us twice.
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        env._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                event._defused = True
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active_process = None
+            self._ok = True
+            self._value = stop.value
+            env._schedule(self, PRIORITY_NORMAL, 0)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self._ok = False
+            self._value = exc
+            self._defused = False
+            env._schedule(self, PRIORITY_NORMAL, 0)
+            return
+        env._active_process = None
+
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {result!r}"
+            )
+        if result.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            immediate = Event(env)
+            immediate.callbacks.append(self._resume)
+            immediate.trigger(result)
+            self._target = immediate
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        if not self._events and not self.triggered:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* events (callbacks already ran) carry a delivered
+        # value; Timeouts pre-set their payload at construction, so testing
+        # `triggered` here would wrongly include future timeouts.
+        return {e: e._value for e in self._events if e.callbacks is None}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired (fails fast on error)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: int = 0):
+        self._now: int = initial_time
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now / 1_000
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped (None outside process code)."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` picoseconds from now."""
+        return Timeout(self, delay, value)
+
+    def timeout_ns(self, delay_ns: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay_ns`` nanoseconds from now."""
+        return Timeout(self, ns(delay_ns), value)
+
+    def process(
+        self, generator: Generator[Any, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Register a generator as a simulated process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling & stepping --------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next scheduled event, or None if queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it instead of silently dropping.
+            raise event._value
+
+    def run(self, until: Optional[int] = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        ``until`` may be an absolute time (int picoseconds) or an
+        :class:`Event`; in the latter case :meth:`run` returns the event's
+        value when it fires.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            if sentinel.callbacks is None:
+                return sentinel.value
+            done = []
+            sentinel.callbacks.append(lambda e: done.append(e))
+            while self._queue and not done:
+                self.step()
+            if not done:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event fired"
+                )
+            if not sentinel._ok:
+                raise sentinel._value
+            return sentinel._value
+        horizon = int(until)
+        if horizon < self._now:
+            raise SimulationError("cannot run() into the past")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

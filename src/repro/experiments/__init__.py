@@ -1,0 +1,41 @@
+"""Microbenchmark experiments (§4.4 and §5 of the paper).
+
+Each module implements one evaluation experiment end to end on the
+simulated cluster and returns plain numbers; the benchmark harness in
+:mod:`repro.bench` sweeps them into the paper's tables and figures.
+
+===================  =======================================
+module               reproduces
+===================  =======================================
+``pingpong``         Fig. 3a–c (RDMA / P4 / sPIN store / stream)
+``accumulate``       Fig. 3d (remote accumulate, int + dis)
+``littles_law``      Fig. 4 + §4.4.2 analytics
+``broadcast``        Fig. 5a (binomial broadcast, 3 protocols)
+``datatype_recv``    Fig. 7a (strided vector receive)
+``raid_update``      Fig. 7c (RAID-5 update, via repro.storage)
+===================  =======================================
+"""
+
+from repro.experiments.pingpong import pingpong_half_rtt_ns, PINGPONG_MODES
+from repro.experiments.accumulate import accumulate_completion_ns
+from repro.experiments.littles_law import (
+    arrival_rate_mmps,
+    hpus_needed,
+    max_handler_time_ns,
+)
+from repro.experiments.broadcast import broadcast_latency_ns, BCAST_MODES
+from repro.experiments.datatype_recv import datatype_recv_completion_ns
+from repro.experiments.raid_update import raid_update_completion_ns
+
+__all__ = [
+    "BCAST_MODES",
+    "PINGPONG_MODES",
+    "accumulate_completion_ns",
+    "arrival_rate_mmps",
+    "broadcast_latency_ns",
+    "datatype_recv_completion_ns",
+    "hpus_needed",
+    "max_handler_time_ns",
+    "pingpong_half_rtt_ns",
+    "raid_update_completion_ns",
+]

@@ -1,0 +1,37 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.nic import SpinNIC
+from repro.machine.cluster import Cluster
+from repro.machine.config import (
+    CROSS_POD_LATENCY_PS,
+    MachineConfig,
+    config_by_name,
+)
+from repro.network.topology import UniformLatency
+
+__all__ = ["config_by_name", "pair_cluster", "CROSS_POD_LATENCY_PS"]
+
+
+def pair_cluster(
+    config: MachineConfig,
+    nprocs: int = 2,
+    trace: bool = False,
+    with_memory: bool = True,
+    latency_ps: Optional[int] = None,
+) -> Cluster:
+    """A small cluster whose endpoint pairs sit cross-pod (worst case L)."""
+    topo = UniformLatency(
+        latency=CROSS_POD_LATENCY_PS if latency_ps is None else latency_ps
+    )
+    return Cluster(
+        nprocs,
+        config=config,
+        nic_factory=SpinNIC,
+        topology=topo,
+        trace=trace,
+        with_memory=with_memory,
+    )

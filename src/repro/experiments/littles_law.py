@@ -1,0 +1,52 @@
+"""HPU-count analytics (§4.4.2, Fig. 4).
+
+Little's law sizes the HPU pool: with handler time T and packet arrival
+rate Δ, T·Δ handlers are in flight on average, so the NIC needs ⌈T·Δ⌉ HPUs
+for line rate.  Δ = min{1/g, 1/(G·s)}: packets smaller than g/G = 335 B are
+message-rate (g) bound, larger ones bandwidth (G) bound.
+
+Checked paper numbers (tests/bench assert them):
+
+* Δ ranges from 12.5 Mpps (4 KiB packets) to ~150 Mpps (g-bound);
+* with 8 HPUs any packet size sustains line rate if T ≤ T̂s = 8·g ≈ 53 ns;
+* for s ≥ 335 B the bound is T̂l(s) = 8·G·s — 650 ns at 4 KiB.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.loggp import LogGPParams
+
+__all__ = ["arrival_rate_mmps", "hpus_needed", "max_handler_time_ns"]
+
+
+def arrival_rate_mmps(packet_bytes: int, params: LogGPParams | None = None) -> float:
+    """Expected packet arrival rate Δ in million packets per second."""
+    params = params or LogGPParams()
+    return params.arrival_rate_pps(packet_bytes) * 1e6
+
+
+def hpus_needed(
+    handler_time_ns: float, packet_bytes: int, params: LogGPParams | None = None
+) -> int:
+    """HPUs required to sustain line rate (Fig. 4's y-axis)."""
+    params = params or LogGPParams()
+    if handler_time_ns < 0:
+        raise ValueError("negative handler time")
+    delta_per_ps = params.arrival_rate_pps(packet_bytes)
+    return max(1, math.ceil(handler_time_ns * 1000 * delta_per_ps))
+
+
+def max_handler_time_ns(
+    hpus: int, packet_bytes: int, params: LogGPParams | None = None
+) -> float:
+    """Longest handler that still sustains line rate with ``hpus`` units.
+
+    T̂ = hpus / Δ(s): 53 ns for 8 HPUs in the g-bound regime; 8·G·s beyond
+    the 335 B crossover (650 ns for full 4 KiB packets).
+    """
+    params = params or LogGPParams()
+    if hpus < 1:
+        raise ValueError("need at least one HPU")
+    return hpus / params.arrival_rate_pps(packet_bytes) / 1000.0

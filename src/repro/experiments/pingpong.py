@@ -1,0 +1,109 @@
+"""Ping-pong latency (§4.4.1, Fig. 3a–c).
+
+Four protocol variants answer a ping of ``size`` bytes:
+
+* **rdma** — the destination CPU polls for the completion of the incoming
+  ping, matches it in software, and posts the pong (data fetched from host
+  memory).  System noise on the CPU delays the pong.
+* **p4** — the pong is a pre-set-up Portals 4 triggered put: no CPU, but
+  the ping is still deposited to host memory and the pong data is fetched
+  from host memory by DMA.
+* **spin_store** — sPIN store-and-forward: single-packet pings are buffered
+  in HPU memory and answered from the device by the completion handler;
+  larger pings take the default deposit path and are answered with a put
+  from host.
+* **spin_stream** — sPIN streaming: every payload packet is answered
+  immediately with a put from device; data never commits to host memory.
+
+The reported number is the half round-trip time observed by the origin's
+CPU (event poll included), as in Fig. 3b/3c.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import PtlHPUAllocMem, spin_me
+from repro.experiments.common import config_by_name, pair_cluster
+from repro.handlers_library import PONG_TAG, make_pingpong_handlers
+from repro.machine.config import MachineConfig
+from repro.network.packets import Message
+from repro.portals.matching import MatchEntry
+
+__all__ = ["PINGPONG_MODES", "pingpong_half_rtt_ns"]
+
+PINGPONG_MODES = ("rdma", "p4", "spin_store", "spin_stream")
+PING_TAG = 1
+
+
+def pingpong_half_rtt_ns(size: int, mode: str, config: MachineConfig | str,
+                         noise=None) -> float:
+    """Half round-trip time in nanoseconds for one ping-pong."""
+    if isinstance(config, str):
+        config = config_by_name(config)
+    if mode not in PINGPONG_MODES:
+        raise ValueError(f"unknown mode {mode!r}")
+    cluster = pair_cluster(config, with_memory=False)
+    if noise is not None:
+        cluster[1].cpu.noise = noise
+    env = cluster.env
+    origin, target = cluster[0], cluster[1]
+
+    pong_eq = origin.new_eq()
+    origin.post_me(0, MatchEntry(match_bits=PONG_TAG, length=size,
+                                 event_queue=pong_eq))
+
+    if mode == "rdma":
+        ping_eq = target.new_eq()
+        target.post_me(0, MatchEntry(match_bits=PING_TAG, length=size,
+                                     event_queue=ping_eq))
+
+        def responder():
+            yield from target.wait_event(ping_eq)  # poll for completion
+            yield from target.cpu.match()          # software matching
+            yield from target.host_put(0, size, match_bits=PONG_TAG)
+
+        env.process(responder())
+    elif mode == "p4":
+        ct = target.new_counter()
+        target.post_me(0, MatchEntry(match_bits=PING_TAG, length=size, counter=ct))
+        target.ni.triggered.arm(
+            ct, 1,
+            lambda: target.nic.send(
+                Message(source=1, target=0, length=size, kind="put",
+                        match_bits=PONG_TAG),
+                from_host=True,
+            ),
+            "triggered pong",
+        )
+    else:
+        hh, ph, ch = make_pingpong_handlers(streaming=(mode == "spin_stream"))
+        target.post_me(0, spin_me(
+            match_bits=PING_TAG, length=size,
+            header_handler=hh, payload_handler=ph, completion_handler=ch,
+            hpu_memory=PtlHPUAllocMem(target, 8192),
+        ))
+
+    done = env.event()
+    state = {"received": 0, "start": None}
+
+    def pong_watch(ev):
+        state["received"] += ev.length
+        if state["received"] >= size:
+            done.succeed(env.now)
+        else:
+            pong_eq.on_next(pong_watch)
+
+    pong_eq.on_next(pong_watch)
+
+    def pinger():
+        state["start"] = env.now
+        yield from origin.host_put(1, size, match_bits=PING_TAG)
+        yield done
+        # Origin CPU observes the pong completion (poll cost, symmetric
+        # with the responder side).
+        yield from origin.cpu.poll()
+        return env.now - state["start"]
+
+    proc = env.process(pinger())
+    rtt_ps = env.run(until=proc)
+    cluster.run()  # drain remaining events
+    return rtt_ps / 2 / 1000.0

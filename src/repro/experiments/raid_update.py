@@ -1,0 +1,30 @@
+"""RAID-5 update microbenchmark (Fig. 7c).
+
+Contiguous client data of growing size is striped across four data nodes;
+completion is the arrival of all ACKs after the parity node was updated.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import MachineConfig
+from repro.storage.raid import RaidCluster
+
+__all__ = ["raid_update_completion_ns"]
+
+
+def raid_update_completion_ns(
+    size: int, mode: str, config: MachineConfig | str, ndata: int = 4
+) -> float:
+    """Completion time (ns) of one striped RAID-5 update of ``size`` bytes."""
+    raid = RaidCluster(mode, config, ndata=ndata,
+                       region_bytes=max(size, 4096), with_memory=False)
+    env = raid.env
+
+    def client():
+        start = env.now
+        finish = yield from raid.client_write(size)
+        return finish - start
+
+    proc = env.process(client())
+    elapsed_ps = env.run(until=proc)
+    return elapsed_ps / 1000.0

@@ -1,0 +1,37 @@
+"""HPU mini-ISA: the cycle-accurate gem5 stand-in.
+
+The paper times handlers by executing their compiled ARMv8 code on a
+simulated in-order Cortex-A15 (2.5 GHz, IPC 1, single-cycle scratchpad).
+This package provides the equivalent measurement device at reproduction
+scale: a small RISC register machine with
+
+* 16 general registers, word (4 B) and byte loads/stores against HPU
+  scratchpad memory and the packet buffer;
+* ALU ops, compares, branches — each costing one cycle (configurable
+  scratchpad access cost ``k``, §4.2);
+* an assembler for a simple text syntax;
+* ``simcall`` instructions mirroring the handler actions (DMA, put from
+  device) so real handler kernels can be expressed and *counted*.
+
+The XOR and accumulate kernels in :mod:`repro.hpu_isa.programs` execute on
+this VM; tests cross-validate their measured cycles/byte against the
+constants the Python handlers charge in :mod:`repro.handlers_library` —
+closing the loop between the convenient cost model and an instruction-level
+ground truth.
+"""
+
+from repro.hpu_isa.isa import Instruction, assemble, AssemblyError
+from repro.hpu_isa.vm import VM, VMError, VMResult
+from repro.hpu_isa.programs import ACCUMULATE_REAL_ASM, XOR_KERNEL_ASM, COPY_KERNEL_ASM
+
+__all__ = [
+    "ACCUMULATE_REAL_ASM",
+    "AssemblyError",
+    "COPY_KERNEL_ASM",
+    "Instruction",
+    "VM",
+    "VMError",
+    "VMResult",
+    "XOR_KERNEL_ASM",
+    "assemble",
+]

@@ -1,0 +1,136 @@
+"""Instruction set and assembler.
+
+Syntax (one instruction per line; ``;`` or ``#`` start comments)::
+
+    loop:                 ; label
+        ldw  r1, r2, 0    ; r1 = mem32[r2 + 0]
+        ldpw r3, r4, 0    ; r3 = packet32[r4 + 0]
+        xor  r1, r1, r3
+        stw  r1, r2, 0    ; mem32[r2 + 0] = r1
+        addi r2, r2, 4
+        addi r4, r4, 4
+        subi r5, r5, 4
+        bnez r5, loop
+        halt
+
+Registers r0..r15; r0 reads as 0 (writes ignored).  Operands are registers,
+immediates (decimal/hex), or labels (branch targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AssemblyError", "Instruction", "assemble", "OPCODES"]
+
+
+class AssemblyError(Exception):
+    """Raised for malformed assembly input."""
+
+
+#: opcode → (number of operands, operand pattern)
+#: pattern chars: r = register, i = immediate, l = label (pc target)
+OPCODES = {
+    # ALU register-register.
+    "add": (3, "rrr"), "sub": (3, "rrr"), "and": (3, "rrr"),
+    "or": (3, "rrr"), "xor": (3, "rrr"), "mul": (3, "rrr"),
+    "sll": (3, "rrr"), "srl": (3, "rrr"),
+    # ALU immediate.
+    "addi": (3, "rri"), "subi": (3, "rri"), "andi": (3, "rri"),
+    "ori": (3, "rri"), "xori": (3, "rri"), "slli": (3, "rri"),
+    "srli": (3, "rri"), "li": (2, "ri"), "mov": (2, "rr"),
+    # Memory: scratchpad (ldw/stw word, ldb/stb byte) and packet buffer.
+    "ldw": (3, "rri"), "stw": (3, "rri"), "ldb": (3, "rri"), "stb": (3, "rri"),
+    "ldpw": (3, "rri"), "ldpb": (3, "rri"),
+    # Control.
+    "beq": (3, "rrl"), "bne": (3, "rrl"), "blt": (3, "rrl"),
+    "bge": (3, "rrl"), "beqz": (2, "rl"), "bnez": (2, "rl"),
+    "jmp": (1, "l"), "halt": (0, ""), "nop": (0, ""),
+    # Simcalls (handler actions; operand = argument registers, fixed use).
+    "sc_dma_read": (3, "rrr"),    # host_off, local_off, len
+    "sc_dma_write": (3, "rrr"),   # local_off, host_off, len
+    "sc_put_dev": (3, "rrr"),     # local_off, len, target
+    "sc_yield": (0, ""),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    opcode: str
+    operands: tuple[int, ...]
+    line: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.opcode} {', '.join(map(str, self.operands))}"
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip().lower()
+    if not token.startswith("r"):
+        raise AssemblyError(f"line {line}: expected register, got {token!r}")
+    try:
+        idx = int(token[1:])
+    except ValueError:
+        raise AssemblyError(f"line {line}: bad register {token!r}") from None
+    if not 0 <= idx < 16:
+        raise AssemblyError(f"line {line}: register {token!r} out of range")
+    return idx
+
+
+def _parse_immediate(token: str, line: int) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError:
+        raise AssemblyError(f"line {line}: bad immediate {token!r}") from None
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Two-pass assembly: collect labels, then encode instructions."""
+    # Pass 1: strip comments, find labels.
+    cleaned: list[tuple[int, str]] = []
+    labels: dict[str, int] = {}
+    for lineno, raw in enumerate(source.splitlines(), 1):
+        text = raw.split(";")[0].split("#")[0].strip()
+        if not text:
+            continue
+        while ":" in text:
+            label, _, rest = text.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(cleaned)
+            text = rest.strip()
+        if text:
+            cleaned.append((lineno, text))
+
+    # Pass 2: encode.
+    program: list[Instruction] = []
+    for lineno, text in cleaned:
+        parts = text.replace(",", " ").split()
+        opcode = parts[0].lower()
+        if opcode not in OPCODES:
+            raise AssemblyError(f"line {lineno}: unknown opcode {opcode!r}")
+        argc, pattern = OPCODES[opcode]
+        args = parts[1:]
+        if len(args) != argc:
+            raise AssemblyError(
+                f"line {lineno}: {opcode} expects {argc} operands, got {len(args)}"
+            )
+        operands = []
+        for kind, token in zip(pattern, args):
+            if kind == "r":
+                operands.append(_parse_register(token, lineno))
+            elif kind == "i":
+                operands.append(_parse_immediate(token, lineno))
+            else:  # label
+                target: Optional[int] = labels.get(token.strip())
+                if target is None:
+                    raise AssemblyError(f"line {lineno}: unknown label {token!r}")
+                operands.append(target)
+        program.append(Instruction(opcode, tuple(operands), lineno))
+    return program

@@ -1,0 +1,317 @@
+"""Baseline NIC models: RDMA and Portals 4 (no sPIN).
+
+The receive pipeline implements §4.2's hardware matching: a header packet
+searches the full match list (30 ns) and installs a channel in a CAM; every
+following packet of the message hits the CAM (2 ns).  Matching proceeds in
+parallel with the network gap because the match unit is its own server.
+
+Matched put data is DMA-written to host memory packet by packet; the
+message's completion actions (events, counters — which may fire triggered
+operations — and ACKs) run once all packets have arrived *and* all DMA
+writes are durable.  Get requests are served by DMA-reading the matched
+region and streaming a reply message back.
+
+The sPIN NIC (:class:`repro.core.nic.SpinNIC`) subclasses this model and
+reroutes matched messages whose ME carries a handler binding.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.des.engine import Environment, Event
+from repro.des.resources import Server
+from repro.network.packets import Message, Packet
+from repro.portals.events import PortalsEvent
+from repro.portals.matching import MatchResult
+from repro.portals.types import EventKind
+
+__all__ = ["BaselineNIC"]
+
+
+class _MessageRx:
+    """Receiver-side state for one in-flight message."""
+
+    __slots__ = (
+        "message",
+        "match",
+        "bytes_seen",
+        "packets_seen",
+        "dma_events",
+        "dropped_bytes",
+        "finished",
+        "extra",
+    )
+
+    def __init__(self, message: Message, match: Optional[MatchResult]):
+        self.message = message
+        self.match = match
+        self.bytes_seen = 0
+        self.packets_seen = 0
+        self.dma_events: list[Event] = []
+        self.dropped_bytes = 0
+        self.finished = False
+        self.extra: dict = {}
+
+    @property
+    def complete(self) -> bool:
+        return self.bytes_seen + self.dropped_bytes >= self.message.length
+
+
+class BaselineNIC:
+    """An RDMA / Portals 4 NIC attached to one machine."""
+
+    def __init__(self, env: Environment, machine) -> None:
+        self.env = env
+        self.machine = machine
+        self.rank = machine.rank
+        self.params = machine.config.nic
+        self.loggp = machine.config.loggp
+        self.timeline = machine.timeline
+        #: Serializes match-unit work; pipelined with packet arrivals.
+        self.match_unit = Server(env, f"match[{self.rank}]")
+        self._rx: dict[int, _MessageRx] = {}
+        self.messages_received = 0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------ RX --
+    def on_packet(self, pkt: Packet) -> None:
+        """Fabric delivery entry point (one process per packet)."""
+        self.env.process(self._rx_packet(pkt), name=f"rx[{self.rank}]")
+
+    def _rx_packet(self, pkt: Packet) -> Generator:
+        msg = pkt.message
+        state = self._rx.get(msg.msg_id)
+        if pkt.is_header:
+            start = self.env.now
+            yield from self.match_unit.serve(self.params.header_match_ps)
+            self.timeline.record(self.rank, "NIC", start, self.env.now, "match")
+            match = self._match_message(msg)
+            state = _MessageRx(msg, match)
+            self._rx[msg.msg_id] = state
+            yield from self._on_header_matched(state, pkt)
+        else:
+            start = self.env.now
+            yield from self.match_unit.serve(self.params.cam_lookup_ps)
+            self.timeline.record(self.rank, "NIC", start, self.env.now, "cam")
+            state = self._rx[msg.msg_id]
+
+        yield from self._deliver_packet(state, pkt)
+        state.packets_seen += 1
+        if state.complete and not state.finished:
+            state.finished = True
+            yield from self._finish_message(state)
+            del self._rx[msg.msg_id]
+
+    def _match_message(self, msg: Message) -> Optional[MatchResult]:
+        """Route the header through Portals matching (None for ack/reply)."""
+        if msg.kind in ("ack", "reply"):
+            return None
+        pt_index = msg.meta.get("pt_index", 0)
+        kind = "get" if msg.kind == "get" else "put"
+        length = msg.meta.get("get_length", msg.length) if kind == "get" else msg.length
+        return self.machine.ni.match(
+            pt_index,
+            msg.source,
+            msg.match_bits,
+            kind=kind,
+            length=length,
+            requested_offset=msg.offset,
+            header_meta={"hdr_data": msg.hdr_data, "user_hdr": msg.user_hdr},
+        )
+
+    def _on_header_matched(self, state: _MessageRx, pkt: Packet) -> Generator:
+        """Hook for subclasses (sPIN header handlers).  Default: nothing."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- per-packet data movement ----------------------------------------
+    def _deliver_packet(self, state: _MessageRx, pkt: Packet) -> Generator:
+        msg = state.message
+        if msg.kind in ("put", "atomic"):
+            if state.match is None or not state.match.matched:
+                state.dropped_bytes += pkt.payload_len
+                pt = self._pt_for(msg)
+                if pt is not None:
+                    pt.record_drop(pkt.payload_len)
+                return
+            yield from self._deposit_put_packet(state, pkt)
+        elif msg.kind == "reply":
+            yield from self._deposit_reply_packet(state, pkt)
+        elif msg.kind in ("get", "ack"):
+            state.bytes_seen += pkt.payload_len  # header-only messages
+        else:
+            raise ValueError(f"unknown message kind {msg.kind!r}")
+
+    def _deposit_put_packet(self, state: _MessageRx, pkt: Packet) -> Generator:
+        entry = state.match.entry
+        offset = entry.start + state.match.deposit_offset + pkt.payload_offset
+        completion = yield from self.machine.dma.write(
+            offset if self.machine.memory is not None else 0,
+            pkt.payload,
+            nbytes=pkt.payload_len,
+            label=f"rx m{state.message.msg_id}",
+        )
+        state.dma_events.append(completion)
+        state.bytes_seen += pkt.payload_len
+
+    def _deposit_reply_packet(self, state: _MessageRx, pkt: Packet) -> Generator:
+        msg = state.message
+        md = self.machine.ni.mds.get(msg.meta.get("md_id", -1))
+        base = (md.start if md else 0) + msg.meta.get("reply_offset", 0)
+        completion = yield from self.machine.dma.write(
+            base + pkt.payload_offset,
+            pkt.payload,
+            nbytes=pkt.payload_len,
+            label=f"rx-reply m{msg.msg_id}",
+        )
+        state.dma_events.append(completion)
+        state.bytes_seen += pkt.payload_len
+
+    # -- message completion ---------------------------------------------------
+    def _finish_message(self, state: _MessageRx) -> Generator:
+        msg = state.message
+        if state.dma_events:
+            yield self.env.all_of(state.dma_events)
+        self.messages_received += 1
+        if msg.kind in ("put", "atomic"):
+            yield from self._complete_put(state)
+        elif msg.kind == "get":
+            yield from self._serve_get(state)
+        elif msg.kind == "reply":
+            self._complete_initiator(msg, EventKind.REPLY)
+        elif msg.kind == "ack":
+            self._complete_initiator(msg, EventKind.ACK)
+
+    def _complete_put(self, state: _MessageRx) -> Generator:
+        msg = state.message
+        match = state.match
+        if match is None or not match.matched:
+            return  # dropped: flow-control event was already raised
+        entry = match.entry
+        if entry.counter is not None:
+            entry.counter.increment(1, nbytes=state.bytes_seen)
+        if entry.event_queue is not None:
+            kind = (
+                EventKind.PUT_OVERFLOW
+                if match.list_name == "overflow"
+                else EventKind.PUT
+            )
+            entry.event_queue.push(
+                PortalsEvent(
+                    kind=kind,
+                    initiator=msg.source,
+                    match_bits=msg.match_bits,
+                    length=msg.length,
+                    offset=match.deposit_offset,
+                    hdr_data=msg.hdr_data,
+                    user_ptr=entry.user_ptr,
+                    when_ps=self.env.now,
+                    meta={"user_hdr": msg.user_hdr},
+                )
+            )
+        if msg.meta.get("ack"):
+            ack = Message(
+                source=self.rank,
+                target=msg.source,
+                length=0,
+                kind="ack",
+                match_bits=msg.match_bits,
+                meta={"md_id": msg.meta.get("md_id", -1), "acked_bytes": msg.length},
+            )
+            yield from self._send_now(ack, from_host=False)
+
+    def _serve_get(self, state: _MessageRx) -> Generator:
+        msg = state.message
+        match = state.match
+        if match is None or not match.matched:
+            return
+        entry = match.entry
+        nbytes = msg.meta.get("get_length", 0)
+        src_offset = entry.start + msg.meta.get("get_offset", 0)
+        data = yield from self.machine.dma.read(
+            src_offset, nbytes, label=f"get m{msg.msg_id}"
+        )
+        if entry.counter is not None:
+            entry.counter.increment(1, nbytes=nbytes)
+        if entry.event_queue is not None:
+            entry.event_queue.push(
+                PortalsEvent(
+                    kind=EventKind.GET,
+                    initiator=msg.source,
+                    match_bits=msg.match_bits,
+                    length=nbytes,
+                    when_ps=self.env.now,
+                    user_ptr=entry.user_ptr,
+                )
+            )
+        reply = Message(
+            source=self.rank,
+            target=msg.source,
+            length=nbytes,
+            kind="reply",
+            payload=data,
+            match_bits=msg.match_bits,
+            meta={
+                "md_id": msg.meta.get("md_id", -1),
+                "reply_offset": msg.meta.get("reply_offset", 0),
+            },
+        )
+        yield from self._send_now(reply, from_host=False)
+
+    def _complete_initiator(self, msg: Message, kind: EventKind) -> None:
+        md = self.machine.ni.mds.get(msg.meta.get("md_id", -1))
+        if md is None:
+            return
+        if md.counter is not None:
+            md.counter.increment(1, nbytes=msg.meta.get("acked_bytes", msg.length))
+        if md.event_queue is not None:
+            md.event_queue.push(
+                PortalsEvent(
+                    kind=kind,
+                    initiator=msg.source,
+                    match_bits=msg.match_bits,
+                    length=msg.length,
+                    when_ps=self.env.now,
+                )
+            )
+
+    # ------------------------------------------------------------------- TX --
+    def send(self, msg: Message, from_host: bool = True) -> Event:
+        """Queue a message for transmission; returns the injection-done event.
+
+        ``from_host`` charges the source-side DMA staging (L + first-packet
+        fill at the DMA rate) and streams the remaining bytes through the
+        memory port in the background — NIC sends from device buffers
+        (sPIN put-from-device, ACKs, get replies) skip all of that.
+        """
+        return self.env.process(
+            self._send_now(msg, from_host), name=f"tx[{self.rank}]"
+        )
+
+    def _send_now(self, msg: Message, from_host: bool) -> Generator:
+        self.messages_sent += 1
+        if from_host and msg.length > 0:
+            yield self.env.timeout(self.machine.dma.latency_ps)
+            first = min(msg.length, self.loggp.mtu)
+            yield from self.machine.mem_port.serve(
+                self.params.dma_per_op_ps + round(first * self.machine.dma.G_eff)
+            )
+            rest = msg.length - first
+            if rest > 0:
+                # Remaining bytes stream behind the wire; account their
+                # memory-port occupancy without blocking injection.
+                self.env.process(
+                    self.machine.mem_port.serve(round(rest * self.machine.dma.G_eff)),
+                    name=f"dma-stage[{self.rank}]",
+                )
+        done = self.machine.fabric.inject(msg)
+        yield done
+        return self.env.now
+
+    # -- misc ------------------------------------------------------------------
+    def _pt_for(self, msg: Message):
+        try:
+            return self.machine.ni.pt(msg.meta.get("pt_index", 0))
+        except Exception:
+            return None

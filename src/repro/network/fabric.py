@@ -1,0 +1,114 @@
+"""Packet-level message transport between NICs.
+
+The fabric models the LogGOPS injection pipeline at each source NIC plus the
+topology-derived wire latency:
+
+* message starts at one NIC are spaced by ``g`` (message-rate limit);
+* each packet serializes onto the wire for ``G × bytes``;
+* each packet arrives at the destination ``L(src, dst)`` after it finished
+  serializing, where L comes from the fat tree (switch + wire delays).
+
+The fabric performs no congestion modelling inside the switches — the paper
+assumes a full-bisection fat tree and LogGP likewise concentrates contention
+at the endpoints.  Receiver-side costs (matching, DMA, handlers) belong to
+the NIC models, not the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.des.engine import Environment, Event
+from repro.des.resources import RateLimiter, Server
+from repro.des.trace import Timeline
+from repro.network.loggp import NetworkParams
+from repro.network.packets import Message, Packet, packetize
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Connects attached NICs; delivers packets with LogGP timing."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology,
+        params: Optional[NetworkParams] = None,
+        timeline: Optional[Timeline] = None,
+    ):
+        self.env = env
+        self.topology = topology
+        self.params = params or NetworkParams()
+        self.timeline = timeline or Timeline(enabled=False)
+        self._rx: dict[int, Callable[[Packet], None]] = {}
+        self._msg_limiter: dict[int, RateLimiter] = {}
+        self._wire: dict[int, Server] = {}
+        self.packets_delivered = 0
+        self.messages_injected = 0
+
+    # -- attachment ----------------------------------------------------------
+    def attach(self, nid: int, rx_callback: Callable[[Packet], None]) -> None:
+        """Register node ``nid``'s receive entry point."""
+        if nid in self._rx:
+            raise ValueError(f"node {nid} already attached")
+        self._rx[nid] = rx_callback
+        self._msg_limiter[nid] = RateLimiter(self.env, self.params.loggp.g_ps)
+        self._wire[nid] = Server(self.env, name=f"wire[{nid}]")
+
+    def detach(self, nid: int) -> None:
+        """Remove a node (used by failure injection)."""
+        self._rx.pop(nid, None)
+
+    # -- transmission ----------------------------------------------------------
+    def inject(self, message: Message) -> Event:
+        """Hand a message to the source NIC's TX pipeline.
+
+        Returns an event that fires when the *last packet has finished
+        serializing at the source* (i.e. the TX side is free again).  The
+        receive side learns about the message through its rx callback,
+        packet by packet.
+        """
+        if message.source not in self._msg_limiter:
+            raise ValueError(f"source node {message.source} not attached")
+        return self.env.process(
+            self._send_proc(message), name=f"tx[{message.source}->{message.target}]"
+        )
+
+    def _send_proc(self, message: Message):
+        loggp = self.params.loggp
+        src, dst = message.source, message.target
+        packets = packetize(message, loggp.mtu)
+        self.messages_injected += 1
+        # g: minimum spacing between message starts at this NIC.
+        yield self._msg_limiter[src].wait_turn()
+        latency = self.topology.latency_ps(src, dst)
+        wire = self._wire[src]
+        for pkt in packets:
+            start = self.env.now
+            yield from wire.serve(loggp.serialization_ps(pkt.wire_bytes))
+            self.timeline.record(
+                src, "NIC-tx", start, self.env.now, f"m{message.msg_id}p{pkt.seq}"
+            )
+            self._schedule_delivery(pkt, latency)
+        return self.env.now
+
+    def _schedule_delivery(self, pkt: Packet, latency: int) -> None:
+        arrival = self.env.timeout(latency)
+
+        def deliver(_event: Event, pkt: Packet = pkt) -> None:
+            rx = self._rx.get(pkt.message.target)
+            if rx is None:
+                return  # destination detached (failed node): packet lost
+            self.packets_delivered += 1
+            rx(pkt)
+
+        arrival.callbacks.append(deliver)
+
+    # -- introspection ---------------------------------------------------------
+    def tx_busy_ps(self, nid: int) -> int:
+        """Total serialization time spent by node ``nid``'s wire."""
+        return self._wire[nid].busy_time if nid in self._wire else 0
+
+    def latency_ps(self, a: int, b: int) -> int:
+        return self.topology.latency_ps(a, b)

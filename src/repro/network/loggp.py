@@ -1,0 +1,123 @@
+"""LogGP / LogGOPS network parameters.
+
+The paper parametrizes a future InfiniBand system (§4.2):
+
+* ``o`` = 65 ns injection overhead (not parallelizable, charged on the CPU);
+* ``g`` = 6.7 ns inter-message gap (~150 million messages per second,
+  Mellanox ConnectX-4 class);
+* 400 Gbit/s line rate.  The paper prints "G = 2.5 ps (inter-Byte gap)" but
+  every derived number (g/G = 335 B, 8·G·4096 B = 650 ns, 50 GiB/s deposit
+  rate) requires G = 20 ps/Byte, i.e. 2.5 ps is per *bit*.  We use 20 ps/Byte.
+* ``L`` is not a scalar here: it is computed per node pair from the fat-tree
+  topology (see :mod:`repro.network.topology`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.des.engine import ns
+
+__all__ = ["LogGPParams", "NetworkParams"]
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """The LogGP injection-side parameters, in picoseconds.
+
+    Attributes
+    ----------
+    o_ps:
+        Per-message CPU injection overhead (the LogP *o*).
+    g_ps:
+        Minimum gap between consecutive message injections at one NIC
+        (the LogP *g*, the reciprocal of the message rate).
+    G_ps_per_byte:
+        Serialization time per byte (the LogGP *G*, the reciprocal of the
+        line rate).
+    mtu:
+        Maximum transmission unit in bytes; messages larger than this are
+        split into packets (sPIN's central packetization concept).
+    """
+
+    o_ps: int = ns(65)
+    g_ps: int = ns(6.7)
+    G_ps_per_byte: int = 20
+    mtu: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.mtu <= 0:
+            raise ValueError(f"mtu must be positive, got {self.mtu}")
+        if min(self.o_ps, self.g_ps, self.G_ps_per_byte) < 0:
+            raise ValueError("LogGP parameters must be non-negative")
+
+    # -- derived quantities -------------------------------------------------
+    def serialization_ps(self, nbytes: int) -> int:
+        """Wire occupancy of ``nbytes`` at line rate."""
+        return nbytes * self.G_ps_per_byte
+
+    @property
+    def bandwidth_gbytes(self) -> float:
+        """Line rate in GB/s (1e9 bytes per second)."""
+        return 1_000.0 / self.G_ps_per_byte
+
+    @property
+    def message_rate_mmps(self) -> float:
+        """Peak message rate in million messages per second (1/g)."""
+        return 1e6 / self.g_ps
+
+    def packets_in(self, length: int) -> int:
+        """Number of packets an ``length``-byte message splits into."""
+        if length <= 0:
+            return 1  # zero-byte messages still send a header packet
+        return -(-length // self.mtu)
+
+    def arrival_rate_pps(self, packet_size: int) -> float:
+        """Expected packet arrival rate Δ = min{1/g, 1/(G·s)} in packets/ps.
+
+        This is the quantity in §4.4.2's Little's-law analysis: small packets
+        are message-rate (g) bound; packets larger than g/G bytes are
+        bandwidth (G) bound.
+        """
+        if packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+        return min(1.0 / self.g_ps, 1.0 / (self.G_ps_per_byte * packet_size))
+
+    @property
+    def g_over_G_bytes(self) -> float:
+        """Packet size where bandwidth replaces message rate as bottleneck.
+
+        For the paper's parameters: 6.7 ns / 20 ps/B = 335 B.
+        """
+        return self.g_ps / self.G_ps_per_byte
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Full network model parameters: LogGP plus the switched-fabric pieces.
+
+    The latency model is a packet-switched network: each traversed switch
+    costs ``switch_delay_ps`` and each wire (hop count + 1 wires between two
+    hosts) costs ``wire_delay_ps`` (10 m of cable, 33.4 ns).
+    """
+
+    loggp: LogGPParams = LogGPParams()
+    switch_delay_ps: int = ns(50)
+    wire_delay_ps: int = ns(33.4)
+    switch_radix: int = 36
+
+    def __post_init__(self) -> None:
+        if self.switch_radix < 2 or self.switch_radix % 2:
+            raise ValueError("switch radix must be an even integer >= 2")
+
+    def latency_for_hops(self, nswitches: int) -> int:
+        """End-to-end wire+switch latency for a path through n switches."""
+        if nswitches < 0:
+            raise ValueError("switch count cannot be negative")
+        if nswitches == 0:
+            return 0  # loopback
+        return nswitches * self.switch_delay_ps + (nswitches + 1) * self.wire_delay_ps
+
+    def with_loggp(self, **kwargs) -> "NetworkParams":
+        """Return a copy with some LogGP fields replaced."""
+        return replace(self, loggp=replace(self.loggp, **kwargs))

@@ -1,0 +1,89 @@
+"""System-noise injection for host CPUs.
+
+The paper's toolchain supports injecting OS noise into the simulated hosts
+(§4.2, refs [21, 22]): periodic events (daemons, timer ticks) preempt the
+CPU, delaying any work in flight.  This matters for the evaluation narrative
+because CPU-progressed protocols (RDMA ping-pong, CPU matching) absorb noise
+while NIC-offloaded ones (Portals 4 triggered ops, sPIN handlers) do not.
+
+The model here is the classic fixed-frequency noise trace: every ``period``
+the CPU is unavailable for ``duration``.  Given a work interval we compute
+the inflated completion time analytically (no events needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FixedFrequencyNoise", "NoNoise"]
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """Noise-free CPU: completion = start + work."""
+
+    def finish(self, start_ps: int, work_ps: int) -> int:
+        if work_ps < 0:
+            raise ValueError("negative work")
+        return start_ps + work_ps
+
+    def overhead(self, start_ps: int, work_ps: int) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class FixedFrequencyNoise:
+    """Periodic preemption: busy for ``duration_ps`` every ``period_ps``.
+
+    The noise window [k·period + phase, k·period + phase + duration) blocks
+    progress.  ``finish`` walks the windows overlapping the work interval —
+    O(number of windows hit), exact, and deterministic.
+    """
+
+    period_ps: int
+    duration_ps: int
+    phase_ps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period_ps <= 0:
+            raise ValueError("noise period must be positive")
+        if not 0 <= self.duration_ps < self.period_ps:
+            raise ValueError("noise duration must be in [0, period)")
+
+    def _window_start(self, k: int) -> int:
+        return k * self.period_ps + self.phase_ps
+
+    def finish(self, start_ps: int, work_ps: int) -> int:
+        """Completion time of ``work_ps`` of CPU work starting at start_ps."""
+        if work_ps < 0:
+            raise ValueError("negative work")
+        if work_ps == 0:
+            return start_ps  # no work, no delay — even inside a window
+        t = start_ps
+        remaining = work_ps
+        # Index of the first noise window that could affect us.
+        k = (t - self.phase_ps) // self.period_ps
+        while True:
+            w_start = self._window_start(k)
+            w_end = w_start + self.duration_ps
+            if t < w_start:
+                # Progress until the window opens (or we finish first).
+                step = min(remaining, w_start - t)
+                t += step
+                remaining -= step
+                if remaining == 0:
+                    return t
+            if w_start <= t < w_end:
+                t = w_end  # preempted: wait out the window
+            if remaining == 0:
+                return t
+            k += 1
+
+    def overhead(self, start_ps: int, work_ps: int) -> int:
+        """Extra time added by noise to this work interval."""
+        return self.finish(start_ps, work_ps) - start_ps - work_ps
+
+    @property
+    def intensity(self) -> float:
+        """Long-run fraction of CPU time stolen."""
+        return self.duration_ps / self.period_ps

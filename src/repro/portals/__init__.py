@@ -1,0 +1,57 @@
+"""Portals 4 substrate.
+
+The paper demonstrates sPIN on top of Portals 4 (§3) because it offers
+receiver-side matching, OS bypass, and NIC resource management.  This package
+implements the Portals 4 semantics the evaluation depends on:
+
+* logically addressed, matched network interfaces;
+* matching entries (MEs) with 64-bit masked match bits, priority and overflow
+  lists, locally managed offsets, and use-once semantics;
+* memory descriptors (MDs), event queues, counting events (CTs);
+* triggered operations (the baseline NISA mechanism sPIN generalizes);
+* per-portal-table flow control.
+
+This layer is *pure mechanism* (no simulated time): the timed NIC models in
+:mod:`repro.machine` and the sPIN runtime in :mod:`repro.core` drive it and
+charge the costs (30 ns header match, 2 ns CAM hit, DMA, ...).
+"""
+
+from repro.portals.types import (
+    ME_OP_GET,
+    ME_OP_PUT,
+    ME_USE_ONCE,
+    ME_MANAGE_LOCAL,
+    ME_NO_TRUNCATE,
+    ANY_SOURCE,
+    EventKind,
+    PortalsError,
+)
+from repro.portals.counters import Counter
+from repro.portals.events import EventQueue, PortalsEvent
+from repro.portals.matching import MatchEntry, MatchList, MatchResult
+from repro.portals.triggered import TriggeredOp, TriggeredQueue
+from repro.portals.limits import NILimits
+from repro.portals.ni import MemoryDescriptor, NetworkInterface, PortalTableEntry
+
+__all__ = [
+    "ANY_SOURCE",
+    "Counter",
+    "EventKind",
+    "EventQueue",
+    "MatchEntry",
+    "MatchList",
+    "MatchResult",
+    "ME_MANAGE_LOCAL",
+    "ME_NO_TRUNCATE",
+    "ME_OP_GET",
+    "ME_OP_PUT",
+    "ME_USE_ONCE",
+    "MemoryDescriptor",
+    "NILimits",
+    "NetworkInterface",
+    "PortalTableEntry",
+    "PortalsError",
+    "PortalsEvent",
+    "TriggeredOp",
+    "TriggeredQueue",
+]

@@ -1,0 +1,82 @@
+"""Full events and event queues (Portals 4 EQs)."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.portals.types import EventKind, PortalsError
+
+__all__ = ["EventQueue", "PortalsEvent"]
+
+
+@dataclass
+class PortalsEvent:
+    """One entry in an event queue.
+
+    ``when_ps`` is the simulation time the NIC delivered the event (the
+    host additionally pays its polling cost to observe it — that charge
+    belongs to the host model, not here).
+    """
+
+    kind: EventKind
+    initiator: int = 0
+    match_bits: int = 0
+    length: int = 0
+    offset: int = 0
+    user_ptr: Any = None
+    hdr_data: int = 0
+    when_ps: int = 0
+    ni_fail: bool = False
+    meta: dict = field(default_factory=dict)
+
+
+class EventQueue:
+    """Bounded FIFO of full events with optional waiter callbacks.
+
+    Hosts either poll (``poll``) or register a waiter that fires on the next
+    deposit (the host model turns that into a timed process).  A full queue
+    drops the event and records the overflow — matching Portals semantics
+    where EQ overflow is a serious, surfaced failure.
+    """
+
+    def __init__(self, capacity: int = 1 << 16, name: str = "eq"):
+        if capacity < 1:
+            raise PortalsError("event queue capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._events: deque[PortalsEvent] = deque()
+        self._waiters: deque[Callable[[PortalsEvent], None]] = deque()
+        self.dropped: int = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def push(self, event: PortalsEvent) -> bool:
+        """Deposit an event; returns False (and counts a drop) if full."""
+        if self._waiters:
+            self._waiters.popleft()(event)
+            return True
+        if len(self._events) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._events.append(event)
+        return True
+
+    def poll(self) -> Optional[PortalsEvent]:
+        """PtlEQGet: non-blocking pop."""
+        return self._events.popleft() if self._events else None
+
+    def on_next(self, callback: Callable[[PortalsEvent], None]) -> None:
+        """Deliver the next event to ``callback`` (immediately if queued)."""
+        if self._events:
+            callback(self._events.popleft())
+        else:
+            self._waiters.append(callback)
+
+    def drain(self) -> list[PortalsEvent]:
+        """Pop everything currently queued."""
+        out = list(self._events)
+        self._events.clear()
+        return out

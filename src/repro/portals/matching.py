@@ -1,0 +1,224 @@
+"""Matching entries and match lists.
+
+Implements Portals 4 receiver-side steering (§3.1): a matched interface
+directs each incoming message to the first matching entry (ME) of a priority
+list via a 64-bit masked comparison plus initiator check.  Messages that
+match nothing on the priority list fall through to the overflow list (this
+is how MPI's unexpected messages are captured, Fig. 5b case III) and their
+headers become searchable for late receivers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.portals.counters import Counter
+from repro.portals.events import EventQueue
+from repro.portals.types import (
+    ANY_SOURCE,
+    MATCH_BITS_MASK,
+    ME_MANAGE_LOCAL,
+    ME_NO_TRUNCATE,
+    ME_OP_GET,
+    ME_OP_PUT,
+    ME_USE_ONCE,
+    PortalsError,
+)
+
+__all__ = ["MatchEntry", "MatchList", "MatchResult"]
+
+_me_ids = itertools.count()
+
+
+@dataclass
+class MatchEntry:
+    """A Portals matching entry (``ptl_me_t``).
+
+    ``start`` is a byte offset into the owning process's host memory;
+    ``length`` the entry's extent.  ``spin`` optionally carries the P4sPIN
+    handler binding (header/payload/completion handlers + HPU memory) that
+    :mod:`repro.core.api` attaches — plain Portals ignores it.
+    """
+
+    match_bits: int = 0
+    ignore_bits: int = 0
+    source: int = ANY_SOURCE
+    options: int = ME_OP_PUT
+    start: int = 0
+    length: int = 0
+    counter: Optional[Counter] = None
+    event_queue: Optional[EventQueue] = None
+    user_ptr: Any = None
+    min_free: int = 0
+    spin: Any = None
+    me_id: int = field(default_factory=lambda: next(_me_ids))
+    # Locally managed offset state (ME_MANAGE_LOCAL).
+    local_offset: int = 0
+    unlinked: bool = False
+
+    def __post_init__(self) -> None:
+        if self.match_bits & ~MATCH_BITS_MASK or self.ignore_bits & ~MATCH_BITS_MASK:
+            raise PortalsError("match/ignore bits exceed 64 bits")
+        if self.length < 0:
+            raise PortalsError("negative ME length")
+
+    # -- predicates ----------------------------------------------------------
+    def accepts_operation(self, kind: str) -> bool:
+        if kind in ("put", "atomic"):
+            return bool(self.options & ME_OP_PUT)
+        if kind == "get":
+            return bool(self.options & ME_OP_GET)
+        return False
+
+    def bits_match(self, match_bits: int) -> bool:
+        return (self.match_bits ^ match_bits) & ~self.ignore_bits & MATCH_BITS_MASK == 0
+
+    def source_match(self, initiator: int) -> bool:
+        return self.source == ANY_SOURCE or self.source == initiator
+
+    def space_left(self) -> int:
+        if self.options & ME_MANAGE_LOCAL:
+            return self.length - self.local_offset
+        return self.length
+
+    def matches(self, initiator: int, match_bits: int, kind: str, length: int) -> bool:
+        if self.unlinked:
+            return False
+        if not self.accepts_operation(kind):
+            return False
+        if not self.source_match(initiator) or not self.bits_match(match_bits):
+            return False
+        if self.options & ME_NO_TRUNCATE and length > self.space_left():
+            return False
+        if self.options & ME_MANAGE_LOCAL and length > self.space_left():
+            return False
+        return True
+
+
+@dataclass
+class MatchResult:
+    """Outcome of presenting a message header to a match list."""
+
+    entry: Optional[MatchEntry]
+    list_name: str  # "priority" | "overflow" | "none"
+    deposit_offset: int = 0
+    auto_unlinked: bool = False
+
+    @property
+    def matched(self) -> bool:
+        return self.entry is not None
+
+
+@dataclass
+class UnexpectedHeader:
+    """Record of a message that landed in the overflow list (case III)."""
+
+    initiator: int
+    match_bits: int
+    length: int
+    kind: str
+    entry: MatchEntry          # the overflow ME holding the data
+    deposit_offset: int        # where in that ME the payload went
+    hdr_data: int = 0
+    consumed: bool = False
+    meta: dict = field(default_factory=dict)
+
+
+class MatchList:
+    """Priority + overflow lists for one portal table entry."""
+
+    def __init__(self) -> None:
+        self.priority: list[MatchEntry] = []
+        self.overflow: list[MatchEntry] = []
+        self.unexpected: list[UnexpectedHeader] = []
+        self.searches: int = 0  # total MEs walked (header-matching work)
+
+    # -- posting ---------------------------------------------------------
+    def append(self, entry: MatchEntry, overflow: bool = False) -> None:
+        if entry.unlinked:
+            raise PortalsError("cannot append an unlinked ME")
+        (self.overflow if overflow else self.priority).append(entry)
+
+    def unlink(self, entry: MatchEntry) -> None:
+        entry.unlinked = True
+        for lst in (self.priority, self.overflow):
+            if entry in lst:
+                lst.remove(entry)
+                return
+        raise PortalsError("ME not present in either list")
+
+    # -- matching ----------------------------------------------------------
+    def match(
+        self,
+        initiator: int,
+        match_bits: int,
+        kind: str = "put",
+        length: int = 0,
+        requested_offset: int = 0,
+        header_meta: Optional[dict] = None,
+    ) -> MatchResult:
+        """Match an incoming header; mutates locally-managed offsets.
+
+        ``requested_offset`` is the initiator-specified remote offset; it
+        steers the deposit for normal MEs and is ignored for
+        locally-managed ones (Portals 4 offset semantics).
+
+        The caller (NIC model) charges the time cost; we count list search
+        work in ``self.searches`` so models can charge proportionally.
+        """
+        for list_name, entries in (("priority", self.priority), ("overflow", self.overflow)):
+            for entry in entries:
+                self.searches += 1
+                if not entry.matches(initiator, match_bits, kind, length):
+                    continue
+                offset = self._consume_offset(entry, length, requested_offset)
+                unlinked = False
+                if entry.options & ME_USE_ONCE or (
+                    entry.options & ME_MANAGE_LOCAL
+                    and entry.space_left() < entry.min_free
+                ):
+                    self.unlink(entry)
+                    unlinked = True
+                if list_name == "overflow":
+                    self.unexpected.append(
+                        UnexpectedHeader(
+                            initiator=initiator,
+                            match_bits=match_bits,
+                            length=length,
+                            kind=kind,
+                            entry=entry,
+                            deposit_offset=offset,
+                            meta=dict(header_meta or {}),
+                        )
+                    )
+                return MatchResult(entry, list_name, offset, unlinked)
+        return MatchResult(None, "none")
+
+    @staticmethod
+    def _consume_offset(entry: MatchEntry, length: int, requested: int = 0) -> int:
+        if entry.options & ME_MANAGE_LOCAL:
+            offset = entry.local_offset
+            entry.local_offset += length
+            return offset
+        return requested
+
+    # -- unexpected-message search (late receives, Fig 5b case III) --------
+    def search_unexpected(
+        self, match_bits: int, ignore_bits: int = 0, source: int = ANY_SOURCE
+    ) -> Optional[UnexpectedHeader]:
+        """Find (and consume) the oldest matching unexpected header."""
+        for hdr in self.unexpected:
+            if hdr.consumed:
+                continue
+            if source not in (ANY_SOURCE, hdr.initiator):
+                continue
+            if (hdr.match_bits ^ match_bits) & ~ignore_bits & MATCH_BITS_MASK:
+                continue
+            hdr.consumed = True
+            return hdr
+        return None
+
+    def __len__(self) -> int:
+        return len(self.priority) + len(self.overflow)

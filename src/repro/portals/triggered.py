@@ -1,0 +1,77 @@
+"""Triggered operations (Portals 4 §3.1 / refs [12, 18, 33]).
+
+Triggered operations are the pre-sPIN NISA mechanism: an operation (put,
+get, counter increment) is set up ahead of time and fires — *without host
+involvement* — once a counting event reaches a threshold.  The paper's
+baselines use them for the Portals 4 ping-pong (pre-set-up pong) and the
+collective-offload broadcast; their §5.1 discussion of Barrett et al.'s
+rendezvous protocol explains their Ω(P)-state limitation that sPIN removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.portals.counters import Counter
+from repro.portals.types import PortalsError
+
+__all__ = ["TriggeredOp", "TriggeredQueue"]
+
+
+@dataclass
+class TriggeredOp:
+    """One armed operation: ``action`` fires when ``counter`` hits ``threshold``."""
+
+    counter: Counter
+    threshold: int
+    action: Callable[[], None]
+    description: str = ""
+    fired: bool = False
+    meta: dict = field(default_factory=dict)
+
+    def _fire(self) -> None:
+        if self.fired:
+            raise PortalsError(f"triggered op fired twice: {self.description}")
+        self.fired = True
+        self.action()
+
+
+class TriggeredQueue:
+    """Tracks a NIC's armed triggered operations (a bounded NIC resource).
+
+    Portals limits the number of outstanding triggered operations
+    (``max_triggered_ops`` in the NI limits) because each consumes NIC
+    memory — this bound is exactly why a binomial-tree broadcast over
+    triggered ops needs logarithmic NIC state per process while sPIN needs
+    a single handler (§4.4.3).
+    """
+
+    def __init__(self, max_ops: int = 1 << 16):
+        self.max_ops = max_ops
+        self.armed: int = 0
+        self.fired: int = 0
+        self.high_water: int = 0
+
+    def arm(
+        self,
+        counter: Counter,
+        threshold: int,
+        action: Callable[[], None],
+        description: str = "",
+    ) -> TriggeredOp:
+        if self.armed >= self.max_ops:
+            raise PortalsError(
+                f"NIC out of triggered-op resources (max {self.max_ops})"
+            )
+        self.armed += 1
+        self.high_water = max(self.high_water, self.armed)
+        op = TriggeredOp(counter, threshold, action, description)
+
+        def fire_and_account() -> None:
+            self.armed -= 1
+            self.fired += 1
+            op._fire()
+
+        counter.on_threshold(threshold, fire_and_account)
+        return op

@@ -1,0 +1,52 @@
+"""Portals 4 basic types, option flags, and error handling."""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+__all__ = [
+    "ANY_SOURCE",
+    "EventKind",
+    "ME_MANAGE_LOCAL",
+    "ME_NO_TRUNCATE",
+    "ME_OP_GET",
+    "ME_OP_PUT",
+    "ME_USE_ONCE",
+    "MATCH_BITS_MASK",
+    "PortalsError",
+]
+
+#: Match bits are 64-bit quantities (§3.1: "matching is performed through a
+#: 64-bit masked id").
+MATCH_BITS_MASK = (1 << 64) - 1
+
+#: Wildcard source: matches messages from any initiator (MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+
+# ME option flags (subset of the Portals 4.1 specification that the paper's
+# protocols exercise).
+ME_OP_PUT = 1 << 0        # entry accepts put operations
+ME_OP_GET = 1 << 1        # entry accepts get operations
+ME_USE_ONCE = 1 << 2      # entry is unlinked after the first match
+ME_MANAGE_LOCAL = 1 << 3  # NIC packs messages at a locally managed offset
+ME_NO_TRUNCATE = 1 << 4   # messages longer than the entry do not match
+
+
+class EventKind(Enum):
+    """Full-event types delivered to event queues."""
+
+    PUT = auto()            # a put landed in an ME
+    GET = auto()            # a get was served from an ME
+    ATOMIC = auto()         # an atomic was applied to an ME
+    PUT_OVERFLOW = auto()   # a put landed in the overflow list
+    SEND = auto()           # initiator-side: message left the MD
+    ACK = auto()            # initiator-side: remote acknowledged a put
+    REPLY = auto()          # initiator-side: get/atomic response arrived
+    AUTO_UNLINK = auto()    # a USE_ONCE entry was unlinked
+    PT_DISABLED = auto()    # flow control tripped on a portal table entry
+    SEARCH = auto()         # result of a PtlMESearch
+    HANDLER_ERROR = auto()  # a sPIN handler returned FAIL/SEGV (§B.3)
+
+
+class PortalsError(Exception):
+    """Raised on misuse of the Portals interfaces (PTL_ARG_INVALID etc.)."""

@@ -1,0 +1,397 @@
+"""Message-matching protocols (§5.1, Fig. 5b).
+
+An :class:`MPIEndpoint` gives each machine MPI-like tagged send/recv on top
+of one of three protocols:
+
+* ``rdma`` — no NIC matching: every message lands in a ring (bounce)
+  buffer and the CPU matches, copies eager data into the user buffer
+  (always a copy — Fig. 5b case III behaviour even when preposted), and
+  progresses rendezvous **synchronously**: the CTS/get runs only inside
+  ``wait`` — the classic overlap loss [32].
+* ``p4`` — Portals 4 hardware matching: preposted eager receives deposit
+  straight into the user buffer (case I: the copy is saved); unexpected
+  messages land in the overflow list and are copied on the late receive
+  (case III).  Rendezvous still needs the CPU (the triggered-get protocol
+  [33] is impractical: Ω(P) state, extra match bits, no wildcards), so
+  large transfers progress in ``wait`` like RDMA.
+* ``spin`` — the paper's offloaded protocol (cases II/IV): the send
+  pre-sets up a get descriptor; a header handler at the receiver
+  interprets ⟨size, rdv bits⟩ from the user header of the RTS and issues
+  the get **from the NIC**, giving fully asynchronous progress, no per-peer
+  state, and wildcard support.  Unexpected RTSs are handled by the CPU
+  when the receive is finally posted (case IV handler logic on the host).
+
+Eager messages at or below ``eager_threshold`` bytes; larger transfers use
+the rendezvous path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.core.api import PtlHPUAllocMem, spin_me
+from repro.core.handlers import ReturnCode
+from repro.des.engine import Event
+from repro.portals.events import EventQueue
+from repro.portals.matching import MatchEntry
+from repro.portals.ni import MemoryDescriptor
+from repro.portals.types import (
+    ANY_SOURCE,
+    EventKind,
+    ME_MANAGE_LOCAL,
+    ME_OP_GET,
+    ME_OP_PUT,
+    ME_USE_ONCE,
+)
+
+__all__ = ["MPIEndpoint", "RecvRequest", "SendRequest"]
+
+# Match-bit spaces (bit 62/61 select the class; low 32 bits carry the tag).
+EAGER_BASE = 0
+RTS_BASE = 1 << 62
+RDV_DATA_BASE = 1 << 61
+TAG_MASK = (1 << 32) - 1
+
+
+@dataclass
+class SendRequest:
+    """Handle for an in-flight send."""
+
+    done: Event
+    nbytes: int
+    rendezvous: bool = False
+
+
+@dataclass
+class RecvRequest:
+    """Handle for an in-flight receive."""
+
+    done: Event
+    source: int
+    tag: int
+    nbytes: int
+    copied: bool = False          # did completion involve a CPU copy?
+    rendezvous: bool = False
+    matched_unexpected: bool = False
+    _sync_progress: Optional[object] = None  # generator run inside wait()
+    _progress_evt: Optional[Event] = None    # wakes a blocked wait()
+    meta: dict = field(default_factory=dict)
+
+    def attach_sync(self, generator) -> None:
+        """Queue synchronous progress work; wakes a blocked ``wait()``."""
+        self._sync_progress = generator
+        if self._progress_evt is not None and not self._progress_evt.triggered:
+            self._progress_evt.succeed()
+
+
+class MPIEndpoint:
+    """Tagged MPI-like messaging for one machine."""
+
+    def __init__(self, machine, protocol: str, eager_threshold: int = 16384,
+                 pt_index: int = 0):
+        if protocol not in ("rdma", "p4", "spin"):
+            raise ValueError(f"unknown protocol {protocol!r}")
+        self.machine = machine
+        self.env = machine.env
+        self.protocol = protocol
+        self.eager_threshold = eager_threshold
+        self.pt_index = pt_index
+        self._seq = itertools.count()
+        self.copies = 0
+        self.rendezvous_stalls = 0
+
+        if pt_index not in machine.ni.portal_table:
+            machine.ni.pt_alloc(pt_index)
+        # Bounce buffer for unexpected messages (ring buffer / overflow
+        # list).  RDMA has *only* this; p4/spin put posted receives in the
+        # priority list ahead of it.
+        self.bounce_eq = machine.new_eq()
+        self.bounce_me = machine.post_me(pt_index, MatchEntry(
+            match_bits=0, ignore_bits=(1 << 64) - 1, source=ANY_SOURCE,
+            options=ME_OP_PUT | ME_MANAGE_LOCAL, length=1 << 40,
+            event_queue=self.bounce_eq,
+        ), overflow=True)
+        # RDMA-mode software queues.
+        self._sw_posted: list[RecvRequest] = []
+        self._sw_unexpected: list[dict] = []
+        if protocol == "rdma":
+            self.env.process(self._rdma_progress(), name=f"mpi-prog[{machine.rank}]")
+
+    # ------------------------------------------------------------- send --
+    def send(self, dest: int, nbytes: int, tag: int,
+             payload=None) -> Generator[object, object, SendRequest]:
+        """Post a send; returns a request whose ``done`` is local completion."""
+        if nbytes <= self.eager_threshold:
+            injected = yield from self.machine.host_put(
+                dest, nbytes, match_bits=EAGER_BASE | (tag & TAG_MASK),
+                pt_index=self.pt_index, payload=payload,
+            )
+            return SendRequest(done=injected, nbytes=nbytes)
+        # Rendezvous: expose the data for the receiver's get, then RTS.
+        rdv_bits = RDV_DATA_BASE | (self.machine.rank << 32) | next(self._seq)
+        served = self.machine.new_counter("rdv-src")
+        self.machine.post_me(self.pt_index, MatchEntry(
+            match_bits=rdv_bits, options=ME_OP_GET | ME_USE_ONCE,
+            length=nbytes, counter=served,
+        ))
+        done = self.env.event()
+        served.on_threshold(1, lambda: done.succeed(self.env.now))
+        yield from self.machine.host_put(
+            dest, 0, match_bits=RTS_BASE | (tag & TAG_MASK),
+            pt_index=self.pt_index, hdr_data=nbytes,
+            user_hdr={"rdv_bits": rdv_bits, "size": nbytes},
+        )
+        return SendRequest(done=done, nbytes=nbytes, rendezvous=True)
+
+    # ------------------------------------------------------------- recv --
+    def recv(self, source: int, nbytes: int, tag: int,
+             ) -> Generator[object, object, RecvRequest]:
+        """Post a receive (``source`` may be ANY_SOURCE)."""
+        req = RecvRequest(done=self.env.event(), source=source, tag=tag,
+                          nbytes=nbytes, rendezvous=nbytes > self.eager_threshold)
+        yield from self.machine.cpu.match()  # walk the queues
+        if self.protocol == "rdma":
+            yield from self._recv_rdma(req)
+        else:
+            yield from self._recv_offloaded(req)
+        return req
+
+    def wait(self, req) -> Generator:
+        """Block until a request completes (runs synchronous progress).
+
+        For CPU-progressed rendezvous (rdma/p4) the data transfer itself
+        happens here — the §5.1 overlap loss.
+        """
+        if isinstance(req, RecvRequest):
+            while not req.done.triggered:
+                if req._sync_progress is not None:
+                    self.rendezvous_stalls += 1
+                    sync, req._sync_progress = req._sync_progress, None
+                    yield from sync
+                    continue
+                req._progress_evt = self.env.event()
+                yield self.env.any_of([req.done, req._progress_evt])
+                req._progress_evt = None
+        if not req.done.processed:
+            yield req.done
+        yield from self.machine.cpu.poll()
+
+    def wait_all(self, reqs) -> Generator:
+        """MPI_Waitall: one progress engine drives all pending requests.
+
+        Synchronous rendezvous gets are *posted* as they become available
+        (serialized on the CPU, as a real progress engine would), while the
+        resulting transfers overlap each other.
+        """
+        reqs = list(reqs)
+        while True:
+            for req in reqs:
+                if isinstance(req, RecvRequest) and req._sync_progress is not None:
+                    self.rendezvous_stalls += 1
+                    sync, req._sync_progress = req._sync_progress, None
+                    yield from sync
+            pending = [r for r in reqs if not r.done.triggered]
+            if not pending:
+                break
+            watch = []
+            for r in pending:
+                watch.append(r.done)
+                if isinstance(r, RecvRequest):
+                    r._progress_evt = self.env.event()
+                    watch.append(r._progress_evt)
+            yield self.env.any_of(watch)
+            for r in pending:
+                if isinstance(r, RecvRequest):
+                    r._progress_evt = None
+        yield from self.machine.cpu.poll()
+
+    # ------------------------------------------------- rdma protocol ------
+    def _recv_rdma(self, req: RecvRequest) -> Generator:
+        hit = self._take_sw_unexpected(req)
+        if hit is None:
+            self._sw_posted.append(req)
+            return
+        req.matched_unexpected = True
+        yield from self._consume_arrival(req, hit)
+
+    def _rdma_progress(self) -> Generator:
+        while True:
+            gate = self.env.event()
+            self.bounce_eq.on_next(gate.succeed)
+            ev = yield gate
+            arrival = self._arrival_from_event(ev)
+            req = self._match_posted(arrival)
+            if req is None:
+                self._sw_unexpected.append(arrival)
+                continue
+            yield from self.machine.cpu.poll()
+            yield from self._consume_arrival(req, arrival)
+
+    def _consume_arrival(self, req: RecvRequest, arrival: dict) -> Generator:
+        """Complete a receive against an arrived eager message or RTS."""
+        if arrival["kind"] == "eager":
+            yield from self.machine.cpu.match()
+            yield from self.machine.cpu.memcpy(arrival["length"], label="unexp-copy")
+            req.copied = True
+            self.copies += 1
+            req.done.succeed(self.env.now)
+            return
+        # RTS: synchronous rendezvous — the get happens inside wait().
+        req.attach_sync(self._sync_get(req, arrival))
+
+    def _sync_get(self, req: RecvRequest, arrival: dict) -> Generator:
+        ct = self.machine.new_counter("rdv-recv")
+        md = self.machine.bind_md(
+            MemoryDescriptor(length=arrival["size"], counter=ct)
+        )
+        ct.on_threshold(1, lambda: req.done.succeed(self.env.now))
+        # The CPU only *posts* the get; the NIC performs the transfer.  A
+        # synchronous protocol still pays this posting inside wait(), and
+        # the transfer time whenever no other progress was possible.
+        yield from self.machine.host_get(
+            arrival["initiator"], arrival["size"],
+            match_bits=arrival["rdv_bits"], pt_index=self.pt_index, md=md,
+        )
+
+    # -------------------------------------------- p4 / spin protocols ------
+    def _recv_offloaded(self, req: RecvRequest) -> Generator:
+        ml = self.machine.ni.pt(self.pt_index).match_list
+        if not req.rendezvous:
+            hit = ml.search_unexpected(
+                match_bits=EAGER_BASE | (req.tag & TAG_MASK), source=req.source
+            )
+            if hit is not None:
+                # Case III: late receive finds the message, CPU copies it.
+                req.matched_unexpected = True
+                req.copied = True
+                self.copies += 1
+                yield from self.machine.cpu.memcpy(hit.length, label="unexp-copy")
+                req.done.succeed(self.env.now)
+                return
+            eq = self.machine.new_eq(capacity=4)
+            self.machine.post_me(self.pt_index, MatchEntry(
+                match_bits=EAGER_BASE | (req.tag & TAG_MASK), source=req.source,
+                options=ME_OP_PUT | ME_USE_ONCE, length=req.nbytes,
+                event_queue=eq,
+            ))
+            eq.on_next(lambda ev: req.done.succeed(self.env.now))
+            return
+        # Rendezvous receive.
+        hit = ml.search_unexpected(
+            match_bits=RTS_BASE | (req.tag & TAG_MASK), source=req.source
+        )
+        if hit is not None:
+            # Case III/IV bottom: the handler logic runs on the main CPU —
+            # but the transfer still progresses asynchronously afterwards.
+            req.matched_unexpected = True
+            user = hit.meta.get("user_hdr") or {}
+            arrival = {
+                "kind": "rts", "initiator": hit.initiator,
+                "size": user.get("size", hit.meta.get("hdr_data", req.nbytes)),
+                "rdv_bits": user["rdv_bits"],
+            }
+            if self.protocol == "spin":
+                # Case IV: the CPU issues the get now; the rest is async.
+                self.env.process(self._sync_get(req, arrival),
+                                 name="spin-late-rdv")
+            else:
+                req.attach_sync(self._sync_get(req, arrival))
+            return
+        if self.protocol == "p4":
+            eq = self.machine.new_eq(capacity=4)
+            self.machine.post_me(self.pt_index, MatchEntry(
+                match_bits=RTS_BASE | (req.tag & TAG_MASK), source=req.source,
+                options=ME_OP_PUT | ME_USE_ONCE, length=0, event_queue=eq,
+            ))
+
+            def on_rts(ev):
+                user = ev.meta.get("user_hdr") or {}
+                arrival = {
+                    "kind": "rts", "initiator": ev.initiator,
+                    "size": user.get("size", ev.hdr_data),
+                    "rdv_bits": user["rdv_bits"],
+                }
+                req.attach_sync(self._sync_get(req, arrival))
+
+            eq.on_next(on_rts)
+            return
+        # spin: install the offloaded rendezvous handler (case II).
+        yield from self._post_spin_rdv_me(req)
+
+    def _post_spin_rdv_me(self, req: RecvRequest) -> Generator:
+        from repro.portals.ni import MemoryDescriptor
+
+        ct = self.machine.new_counter("rdv-recv")
+        md = self.machine.bind_md(MemoryDescriptor(length=req.nbytes, counter=ct))
+        ct.on_threshold(1, lambda: req.done.succeed(self.env.now))
+        endpoint = self
+
+        def rts_header_handler(ctx, h):
+            # §5.1: interpret ⟨total size, source tag⟩ from the user header
+            # and issue the get to the source — entirely on the NIC.
+            ctx.charge(20)
+            user = h.user_hdr or {}
+            yield from ctx.get(
+                target=h.source,
+                nbytes=user.get("size", h.hdr_data),
+                match_bits=user["rdv_bits"],
+                pt_index=endpoint.pt_index,
+                md=md,
+            )
+            return ReturnCode.DROP
+
+        self.machine.post_me(self.pt_index, spin_me(
+            match_bits=RTS_BASE | (req.tag & TAG_MASK), source=req.source,
+            options=ME_OP_PUT | ME_USE_ONCE, length=0,
+            header_handler=rts_header_handler,
+            hpu_memory=PtlHPUAllocMem(self.machine, 64),
+        ))
+        return
+        yield  # pragma: no cover
+
+    # ---------------------------------------------------- bookkeeping ------
+    @staticmethod
+    def _arrival_from_event(ev) -> dict:
+        user = ev.meta.get("user_hdr") or {}
+        if ev.match_bits & RTS_BASE:
+            return {
+                "kind": "rts",
+                "initiator": ev.initiator,
+                "tag": ev.match_bits & TAG_MASK,
+                "size": user.get("size", ev.hdr_data),
+                "rdv_bits": user.get("rdv_bits"),
+                "length": ev.length,
+            }
+        return {
+            "kind": "eager",
+            "initiator": ev.initiator,
+            "tag": ev.match_bits & TAG_MASK,
+            "length": ev.length,
+        }
+
+    def _match_posted(self, arrival: dict) -> Optional[RecvRequest]:
+        for req in self._sw_posted:
+            if req.tag != arrival["tag"]:
+                continue
+            if req.source not in (ANY_SOURCE, arrival["initiator"]):
+                continue
+            wanted_rdv = arrival["kind"] == "rts"
+            if req.rendezvous != wanted_rdv:
+                continue
+            self._sw_posted.remove(req)
+            return req
+        return None
+
+    def _take_sw_unexpected(self, req: RecvRequest) -> Optional[dict]:
+        for arrival in self._sw_unexpected:
+            if arrival["tag"] != req.tag:
+                continue
+            if req.source not in (ANY_SOURCE, arrival["initiator"]):
+                continue
+            if req.rendezvous != (arrival["kind"] == "rts"):
+                continue
+            self._sw_unexpected.remove(arrival)
+            return arrival
+        return None

@@ -1,0 +1,28 @@
+"""The §5.4 use cases: further systems accelerated with sPIN handlers.
+
+* :mod:`repro.usecases.kvstore` — distributed key-value store with
+  header-handler inserts (bounded hash-chain walk, host fallback);
+* :mod:`repro.usecases.condread` — conditional read (database filter
+  scans) as a request-reply protocol served by the NIC;
+* :mod:`repro.usecases.transactions` — RDMA access introspection for
+  distributed transactions (handler-side access logging);
+* :mod:`repro.usecases.graph` — BFS visit / SSSP relax vertex updates
+  applied by payload handlers (networkx-verified);
+* :mod:`repro.usecases.ftbcast` — fault-tolerant broadcast on a binomial
+  graph with first-copy delivery and failure injection.
+"""
+
+from repro.usecases.kvstore import KVStore
+from repro.usecases.condread import ConditionalReader
+from repro.usecases.transactions import TransactionLog
+from repro.usecases.graph import DistributedGraph
+from repro.usecases.ftbcast import FaultTolerantBroadcast, binomial_graph_peers
+
+__all__ = [
+    "ConditionalReader",
+    "DistributedGraph",
+    "FaultTolerantBroadcast",
+    "KVStore",
+    "TransactionLog",
+    "binomial_graph_peers",
+]

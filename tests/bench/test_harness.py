@@ -1,0 +1,66 @@
+"""Tests for the bench harness: tables, timelines, and CLI plumbing."""
+
+import pytest
+
+from repro.bench import Table
+from repro.bench.figures import fig4_hpus, fig5b_timelines, fig7b_timeline
+from repro.bench.__main__ import main
+
+
+class TestTable:
+    def test_render_alignment_and_paper_column(self):
+        t = Table(title="demo", columns=["a", "b"])
+        t.add(a=1, b=2.5, paper="ref")
+        t.add(a=10, b=3.25)
+        out = t.render()
+        assert "== demo ==" in out
+        assert "paper" in out
+        assert "ref" in out
+        assert "2.50" in out
+
+    def test_paper_column_hidden_when_unused(self):
+        t = Table(title="demo", columns=["a"])
+        t.add(a=1)
+        assert "paper" not in t.render()
+
+    def test_large_floats_thousands_separated(self):
+        t = Table(title="demo", columns=["x"])
+        t.add(x=1234567.0)
+        assert "1,234,567" in t.render()
+
+    def test_notes_appended(self):
+        t = Table(title="demo", columns=["a"])
+        t.add(a=1)
+        t.note("context")
+        assert "note: context" in t.render()
+
+
+class TestFigureDrivers:
+    def test_fig4_table_structure(self):
+        table = fig4_hpus()
+        assert len(table.rows) == 8
+        assert "T=100ns" in table.columns
+
+    def test_fig5b_timelines_render(self):
+        out = fig5b_timelines()
+        assert "case I" in out
+        assert "#" in out  # busy spans present
+        # All four cases rendered.
+        for case in ("I ", "II ", "III", "IV"):
+            assert f"case {case}" in out
+
+    def test_fig7b_timeline_renders_both_protocols(self):
+        out = fig7b_timeline()
+        assert "rdma protocol" in out and "spin protocol" in out
+        assert "HPU" in out  # sPIN lanes show handler activity
+
+
+class TestCLI:
+    def test_known_target_runs(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4" in out
+
+    def test_unknown_target_errors(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-target"])

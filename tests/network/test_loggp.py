@@ -1,0 +1,87 @@
+"""Tests for LogGP parameters and paper-derived quantities (§4.2, §4.4.2)."""
+
+import pytest
+
+from repro.des import ns
+from repro.network import LogGPParams, NetworkParams
+
+
+class TestPaperConstants:
+    """The defaults must reproduce the paper's §4.2 parameters."""
+
+    def test_defaults(self):
+        p = LogGPParams()
+        assert p.o_ps == ns(65)
+        assert p.g_ps == ns(6.7)
+        assert p.G_ps_per_byte == 20  # 400 Gbit/s = 20 ps/Byte
+        assert p.mtu == 4096
+
+    def test_line_rate_is_50_gbytes(self):
+        assert LogGPParams().bandwidth_gbytes == pytest.approx(50.0)
+
+    def test_message_rate_is_150_mmps(self):
+        assert LogGPParams().message_rate_mmps == pytest.approx(149.25, rel=0.01)
+
+    def test_g_over_G_crossover_is_335_bytes(self):
+        """§4.4.2: 'From g/G = 335B, the link bandwidth becomes the bottleneck'."""
+        assert LogGPParams().g_over_G_bytes == pytest.approx(335.0)
+
+    def test_full_packet_serialization_time(self):
+        # 4 KiB at 50 GB/s = 81.92 ns
+        assert LogGPParams().serialization_ps(4096) == 4096 * 20
+
+
+class TestDerived:
+    def test_packets_in(self):
+        p = LogGPParams()
+        assert p.packets_in(0) == 1  # header-only
+        assert p.packets_in(1) == 1
+        assert p.packets_in(4096) == 1
+        assert p.packets_in(4097) == 2
+        assert p.packets_in(65536) == 16
+
+    def test_arrival_rate_small_packets_g_bound(self):
+        p = LogGPParams()
+        # Below 335 B the message rate caps arrivals.
+        assert p.arrival_rate_pps(64) == pytest.approx(1.0 / p.g_ps)
+
+    def test_arrival_rate_large_packets_G_bound(self):
+        p = LogGPParams()
+        assert p.arrival_rate_pps(4096) == pytest.approx(1.0 / (20 * 4096))
+
+    def test_arrival_rate_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogGPParams().arrival_rate_pps(0)
+
+    def test_invalid_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            LogGPParams(mtu=0)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            LogGPParams(o_ps=-1)
+
+
+class TestNetworkParams:
+    def test_latency_for_hops_matches_paper_model(self):
+        np_ = NetworkParams()
+        # 1 switch + 2 wires: 50 + 2*33.4 = 116.8 ns
+        assert np_.latency_for_hops(1) == ns(50) + 2 * ns(33.4)
+        # Cross-pod: 5 switches + 6 wires = 250 + 200.4 = 450.4 ns
+        assert np_.latency_for_hops(5) == 5 * ns(50) + 6 * ns(33.4)
+
+    def test_loopback_zero(self):
+        assert NetworkParams().latency_for_hops(0) == 0
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkParams().latency_for_hops(-1)
+
+    def test_odd_radix_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkParams(switch_radix=35)
+
+    def test_with_loggp_override(self):
+        np_ = NetworkParams().with_loggp(mtu=1024)
+        assert np_.loggp.mtu == 1024
+        assert np_.loggp.o_ps == ns(65)  # untouched fields preserved

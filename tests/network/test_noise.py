@@ -1,0 +1,85 @@
+"""Tests for the fixed-frequency noise model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network import FixedFrequencyNoise, NoNoise
+
+
+class TestNoNoise:
+    def test_identity(self):
+        assert NoNoise().finish(100, 50) == 150
+        assert NoNoise().overhead(100, 50) == 0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            NoNoise().finish(0, -1)
+
+
+class TestFixedFrequencyNoise:
+    def test_work_between_windows_unaffected(self):
+        noise = FixedFrequencyNoise(period_ps=1000, duration_ps=100)
+        # Window [0,100); start right after it, finish before the next one.
+        assert noise.finish(100, 800) == 900
+        assert noise.overhead(100, 800) == 0
+
+    def test_start_inside_window_waits(self):
+        noise = FixedFrequencyNoise(period_ps=1000, duration_ps=100)
+        assert noise.finish(50, 10) == 110  # blocked until 100, then 10 work
+
+    def test_work_spanning_window_inflated(self):
+        noise = FixedFrequencyNoise(period_ps=1000, duration_ps=100)
+        # Start at 900, 200 of work: 100 until window at 1000, wait 100, 100 more.
+        assert noise.finish(900, 200) == 1200
+        assert noise.overhead(900, 200) == 100
+
+    def test_multi_window_span(self):
+        noise = FixedFrequencyNoise(period_ps=1000, duration_ps=100)
+        # 2500 of work from 100 crosses windows at 1000 and 2000.
+        assert noise.finish(100, 2500) == 100 + 2500 + 200
+
+    def test_phase_shifts_windows(self):
+        noise = FixedFrequencyNoise(period_ps=1000, duration_ps=100, phase_ps=500)
+        assert noise.finish(0, 400) == 400  # window now at [500, 600)
+        assert noise.finish(0, 600) == 700
+
+    def test_zero_work_returns_start(self):
+        noise = FixedFrequencyNoise(period_ps=1000, duration_ps=100)
+        # No work means no delay, even when starting inside a noise window.
+        assert noise.finish(50, 0) == 50
+
+    def test_intensity(self):
+        assert FixedFrequencyNoise(1000, 100).intensity == pytest.approx(0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FixedFrequencyNoise(period_ps=0, duration_ps=0)
+        with pytest.raises(ValueError):
+            FixedFrequencyNoise(period_ps=100, duration_ps=100)
+
+    @given(
+        period=st.integers(min_value=10, max_value=10_000),
+        frac=st.floats(min_value=0.0, max_value=0.9),
+        start=st.integers(min_value=0, max_value=10_000),
+        work=st.integers(min_value=0, max_value=100_000),
+    )
+    def test_finish_bounds(self, period, frac, start, work):
+        """Noise can only delay, and the delay is bounded by intensity+1 window."""
+        duration = int(period * frac)
+        noise = FixedFrequencyNoise(period_ps=period, duration_ps=duration)
+        finish = noise.finish(start, work)
+        assert finish >= start + work
+        # Worst case: each period supplies (period - duration) of progress,
+        # so we hit at most ceil(work / available) + 1 windows.
+        available = period - duration
+        max_windows = -(-work // available) + 1 if work else 0
+        assert finish <= start + work + max_windows * duration
+
+    @given(
+        start=st.integers(min_value=0, max_value=10**6),
+        work=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_monotonic_in_work(self, start, work):
+        noise = FixedFrequencyNoise(period_ps=997, duration_ps=101)
+        assert noise.finish(start, work + 13) >= noise.finish(start, work)

@@ -1,0 +1,160 @@
+"""Tests for counters, event queues, and triggered operations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.portals import (
+    Counter,
+    EventKind,
+    EventQueue,
+    PortalsError,
+    PortalsEvent,
+    TriggeredQueue,
+)
+
+
+class TestCounter:
+    def test_increment_and_bytes(self):
+        ct = Counter()
+        ct.increment(nbytes=100)
+        ct.increment(2, nbytes=50)
+        assert ct.success == 3
+        assert ct.bytes == 150
+
+    def test_failure_separate(self):
+        ct = Counter()
+        ct.fail()
+        assert ct.failure == 1 and ct.success == 0
+
+    def test_threshold_fires_once_at_crossing(self):
+        ct = Counter()
+        fired = []
+        ct.on_threshold(3, lambda: fired.append(ct.success))
+        ct.increment()
+        ct.increment()
+        assert fired == []
+        ct.increment()
+        assert fired == [3]
+        ct.increment()
+        assert fired == [3]
+
+    def test_threshold_already_met_fires_immediately(self):
+        ct = Counter()
+        ct.increment(5)
+        fired = []
+        ct.on_threshold(3, lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_multiple_thresholds_fire_in_order(self):
+        ct = Counter()
+        order = []
+        ct.on_threshold(2, lambda: order.append("two"))
+        ct.on_threshold(1, lambda: order.append("one"))
+        ct.increment(2)
+        assert order == ["one", "two"]
+
+    def test_set_can_jump_past_thresholds(self):
+        ct = Counter()
+        fired = []
+        ct.on_threshold(10, lambda: fired.append(True))
+        ct.set(100)
+        assert fired == [True]
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(PortalsError):
+            Counter().increment(-1)
+
+    @given(increments=st.lists(st.integers(min_value=0, max_value=5), max_size=30))
+    def test_watchers_never_fire_early_never_late(self, increments):
+        ct = Counter()
+        threshold = 7
+        fire_counts = []
+        ct.on_threshold(threshold, lambda: fire_counts.append(ct.success))
+        for inc in increments:
+            ct.increment(inc)
+        if ct.success >= threshold:
+            assert len(fire_counts) == 1
+            assert fire_counts[0] >= threshold
+        else:
+            assert fire_counts == []
+
+
+class TestEventQueue:
+    def test_push_poll_fifo(self):
+        eq = EventQueue()
+        eq.push(PortalsEvent(kind=EventKind.PUT, length=1))
+        eq.push(PortalsEvent(kind=EventKind.ACK, length=2))
+        assert eq.poll().kind == EventKind.PUT
+        assert eq.poll().kind == EventKind.ACK
+        assert eq.poll() is None
+
+    def test_capacity_overflow_drops(self):
+        eq = EventQueue(capacity=1)
+        assert eq.push(PortalsEvent(kind=EventKind.PUT))
+        assert not eq.push(PortalsEvent(kind=EventKind.PUT))
+        assert eq.dropped == 1
+
+    def test_waiter_gets_event_directly(self):
+        eq = EventQueue()
+        got = []
+        eq.on_next(got.append)
+        eq.push(PortalsEvent(kind=EventKind.SEND))
+        assert len(got) == 1 and got[0].kind == EventKind.SEND
+        assert len(eq) == 0
+
+    def test_on_next_with_queued_event(self):
+        eq = EventQueue()
+        eq.push(PortalsEvent(kind=EventKind.PUT))
+        got = []
+        eq.on_next(got.append)
+        assert got[0].kind == EventKind.PUT
+
+    def test_drain(self):
+        eq = EventQueue()
+        for _ in range(3):
+            eq.push(PortalsEvent(kind=EventKind.PUT))
+        assert len(eq.drain()) == 3
+        assert len(eq) == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(PortalsError):
+            EventQueue(capacity=0)
+
+
+class TestTriggeredQueue:
+    def test_arm_and_fire(self):
+        tq = TriggeredQueue()
+        ct = Counter()
+        fired = []
+        tq.arm(ct, 2, lambda: fired.append(True), "test op")
+        ct.increment(2)
+        assert fired == [True]
+        assert tq.fired == 1 and tq.armed == 0
+
+    def test_resource_accounting_high_water(self):
+        tq = TriggeredQueue()
+        ct = Counter()
+        for i in range(5):
+            tq.arm(ct, i + 1, lambda: None)
+        assert tq.high_water == 5
+        ct.increment(5)
+        assert tq.armed == 0 and tq.fired == 5
+
+    def test_resource_exhaustion(self):
+        tq = TriggeredQueue(max_ops=2)
+        ct = Counter()
+        tq.arm(ct, 10, lambda: None)
+        tq.arm(ct, 10, lambda: None)
+        with pytest.raises(PortalsError):
+            tq.arm(ct, 10, lambda: None)
+
+    def test_chained_triggers(self):
+        """A triggered op can bump another counter — trigger chains (ref [18])."""
+        tq = TriggeredQueue()
+        a, b = Counter("a"), Counter("b")
+        log = []
+        tq.arm(a, 1, lambda: (log.append("a"), b.increment())[0])
+        tq.arm(b, 1, lambda: log.append("b"))
+        a.increment()
+        assert log == ["a", "b"]

@@ -1,0 +1,182 @@
+"""Tests for masked matching, list discipline, and unexpected messages."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.portals import (
+    ANY_SOURCE,
+    MatchEntry,
+    MatchList,
+    ME_MANAGE_LOCAL,
+    ME_NO_TRUNCATE,
+    ME_OP_GET,
+    ME_OP_PUT,
+    ME_USE_ONCE,
+    PortalsError,
+)
+
+
+class TestMatchEntryPredicates:
+    def test_exact_bits(self):
+        me = MatchEntry(match_bits=0xDEAD, length=64)
+        assert me.matches(0, 0xDEAD, "put", 8)
+        assert not me.matches(0, 0xBEEF, "put", 8)
+
+    def test_ignore_bits_mask(self):
+        me = MatchEntry(match_bits=0xAB00, ignore_bits=0x00FF, length=64)
+        assert me.matches(0, 0xAB42, "put", 8)
+        assert not me.matches(0, 0xAC42, "put", 8)
+
+    def test_source_filter(self):
+        me = MatchEntry(source=3, length=64)
+        assert me.matches(3, 0, "put", 8)
+        assert not me.matches(4, 0, "put", 8)
+        assert MatchEntry(source=ANY_SOURCE, length=64).matches(7, 0, "put", 8)
+
+    def test_operation_filter(self):
+        put_me = MatchEntry(options=ME_OP_PUT, length=64)
+        get_me = MatchEntry(options=ME_OP_GET, length=64)
+        assert put_me.matches(0, 0, "put", 8) and not put_me.matches(0, 0, "get", 8)
+        assert get_me.matches(0, 0, "get", 8) and not get_me.matches(0, 0, "put", 8)
+        assert put_me.matches(0, 0, "atomic", 8)
+
+    def test_no_truncate_rejects_oversized(self):
+        me = MatchEntry(options=ME_OP_PUT | ME_NO_TRUNCATE, length=64)
+        assert me.matches(0, 0, "put", 64)
+        assert not me.matches(0, 0, "put", 65)
+
+    def test_oversized_bits_rejected(self):
+        with pytest.raises(PortalsError):
+            MatchEntry(match_bits=1 << 64)
+
+    def test_unlinked_never_matches(self):
+        me = MatchEntry(length=64)
+        me.unlinked = True
+        assert not me.matches(0, 0, "put", 8)
+
+
+class TestMatchList:
+    def test_first_match_wins_in_append_order(self):
+        ml = MatchList()
+        first = MatchEntry(match_bits=7, user_ptr="first", length=64)
+        second = MatchEntry(match_bits=7, user_ptr="second", length=64)
+        ml.append(first)
+        ml.append(second)
+        assert ml.match(0, 7).entry.user_ptr == "first"
+
+    def test_use_once_unlinks(self):
+        ml = MatchList()
+        ml.append(MatchEntry(match_bits=7, options=ME_OP_PUT | ME_USE_ONCE, length=64))
+        res = ml.match(0, 7)
+        assert res.matched and res.auto_unlinked
+        assert len(ml) == 0
+        assert not ml.match(0, 7).matched
+
+    def test_persistent_entry_matches_repeatedly(self):
+        ml = MatchList()
+        ml.append(MatchEntry(match_bits=7, length=64))
+        assert ml.match(0, 7).matched
+        assert ml.match(0, 7).matched
+
+    def test_manage_local_packs_offsets(self):
+        ml = MatchList()
+        ml.append(
+            MatchEntry(match_bits=7, options=ME_OP_PUT | ME_MANAGE_LOCAL, length=100)
+        )
+        assert ml.match(0, 7, length=30).deposit_offset == 0
+        assert ml.match(0, 7, length=30).deposit_offset == 30
+        assert ml.match(0, 7, length=30).deposit_offset == 60
+
+    def test_manage_local_unlinks_below_min_free(self):
+        ml = MatchList()
+        ml.append(
+            MatchEntry(
+                match_bits=7,
+                options=ME_OP_PUT | ME_MANAGE_LOCAL,
+                length=100,
+                min_free=50,
+            )
+        )
+        res = ml.match(0, 7, length=60)  # leaves 40 < min_free
+        assert res.matched and res.auto_unlinked
+        assert len(ml) == 0
+
+    def test_manage_local_rejects_overflow_fill(self):
+        ml = MatchList()
+        ml.append(MatchEntry(match_bits=7, options=ME_OP_PUT | ME_MANAGE_LOCAL, length=100))
+        assert ml.match(0, 7, length=101).matched is False
+
+    def test_overflow_fallthrough_records_unexpected(self):
+        ml = MatchList()
+        ml.append(MatchEntry(match_bits=7, length=64))  # priority, wrong bits
+        bounce = MatchEntry(
+            match_bits=0, ignore_bits=(1 << 64) - 1,
+            options=ME_OP_PUT | ME_MANAGE_LOCAL, length=4096,
+        )
+        ml.append(bounce, overflow=True)
+        res = ml.match(5, 99, length=32)
+        assert res.matched and res.list_name == "overflow"
+        assert len(ml.unexpected) == 1
+        hdr = ml.unexpected[0]
+        assert hdr.initiator == 5 and hdr.match_bits == 99 and hdr.length == 32
+
+    def test_no_match_at_all(self):
+        ml = MatchList()
+        res = ml.match(0, 7)
+        assert not res.matched and res.list_name == "none"
+
+    def test_unlink_absent_entry_raises(self):
+        ml = MatchList()
+        with pytest.raises(PortalsError):
+            ml.unlink(MatchEntry())
+
+    def test_search_unexpected_consumes_oldest_match(self):
+        ml = MatchList()
+        bounce = MatchEntry(
+            match_bits=0, ignore_bits=(1 << 64) - 1,
+            options=ME_OP_PUT | ME_MANAGE_LOCAL, length=4096,
+        )
+        ml.append(bounce, overflow=True)
+        ml.match(1, 42, length=8)
+        ml.match(2, 42, length=8)
+        first = ml.search_unexpected(match_bits=42)
+        assert first.initiator == 1 and first.consumed
+        second = ml.search_unexpected(match_bits=42)
+        assert second.initiator == 2
+        assert ml.search_unexpected(match_bits=42) is None
+
+    def test_search_unexpected_with_source(self):
+        ml = MatchList()
+        bounce = MatchEntry(
+            match_bits=0, ignore_bits=(1 << 64) - 1,
+            options=ME_OP_PUT | ME_MANAGE_LOCAL, length=4096,
+        )
+        ml.append(bounce, overflow=True)
+        ml.match(1, 42, length=8)
+        assert ml.search_unexpected(match_bits=42, source=9) is None
+        assert ml.search_unexpected(match_bits=42, source=1) is not None
+
+
+class TestMatchingProperties:
+    @given(
+        match_bits=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        ignore_bits=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        probe=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    def test_masked_match_reference_semantics(self, match_bits, ignore_bits, probe):
+        """ME matching equals the spec formula (bits ^ probe) & ~ignore == 0."""
+        me = MatchEntry(match_bits=match_bits, ignore_bits=ignore_bits, length=1 << 30)
+        expected = ((match_bits ^ probe) & ~ignore_bits & ((1 << 64) - 1)) == 0
+        assert me.matches(0, probe, "put", 1) == expected
+
+    @given(lengths=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=20))
+    def test_manage_local_offsets_are_prefix_sums(self, lengths):
+        total = sum(lengths)
+        ml = MatchList()
+        ml.append(MatchEntry(options=ME_OP_PUT | ME_MANAGE_LOCAL, length=total))
+        offsets = [ml.match(0, 0, length=n).deposit_offset for n in lengths]
+        prefix = 0
+        for length, offset in zip(lengths, offsets):
+            assert offset == prefix
+            prefix += length

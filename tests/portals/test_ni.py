@@ -1,0 +1,153 @@
+"""Tests for network interfaces, portal table flow control, and NI limits."""
+
+import numpy as np
+import pytest
+
+from repro.portals import (
+    EventKind,
+    EventQueue,
+    MatchEntry,
+    ME_MANAGE_LOCAL,
+    ME_OP_PUT,
+    NetworkInterface,
+    NILimits,
+    PortalsError,
+)
+
+
+class ArrayMemory:
+    """Minimal host memory for deposit/fetch tests."""
+
+    def __init__(self, size):
+        self.data = np.zeros(size, dtype=np.uint8)
+
+    def write(self, offset, data):
+        self.data[offset : offset + len(data)] = data
+
+    def read(self, offset, nbytes):
+        return self.data[offset : offset + nbytes].copy()
+
+
+class TestPortalTable:
+    def test_alloc_and_duplicate_rejected(self):
+        ni = NetworkInterface(nid=0)
+        ni.pt_alloc(0)
+        with pytest.raises(PortalsError):
+            ni.pt_alloc(0)
+
+    def test_unallocated_index_rejected(self):
+        with pytest.raises(PortalsError):
+            NetworkInterface(nid=0).pt(3)
+
+    def test_match_routes_to_entry(self):
+        ni = NetworkInterface(nid=0)
+        ni.pt_alloc(0)
+        ni.me_append(0, MatchEntry(match_bits=9, length=64))
+        assert ni.match(0, initiator=1, match_bits=9).matched
+
+    def test_failed_match_trips_flow_control(self):
+        eq = EventQueue()
+        ni = NetworkInterface(nid=0)
+        ni.pt_alloc(0, eq=eq)
+        res = ni.match(0, initiator=1, match_bits=9, length=100)
+        assert not res.matched
+        pt = ni.pt(0)
+        assert not pt.enabled
+        assert pt.dropped_messages == 1 and pt.dropped_bytes == 100
+        ev = eq.poll()
+        assert ev.kind == EventKind.PT_DISABLED
+
+    def test_disabled_entry_drops_everything(self):
+        ni = NetworkInterface(nid=0)
+        ni.pt_alloc(0)
+        ni.me_append(0, MatchEntry(match_bits=9, length=64))
+        ni.pt(0).disable()
+        assert not ni.match(0, initiator=1, match_bits=9).matched
+        assert ni.pt(0).dropped_messages == 1
+        ni.pt(0).enable()
+        assert ni.match(0, initiator=1, match_bits=9).matched
+
+    def test_disable_episode_raises_event_once(self):
+        eq = EventQueue()
+        ni = NetworkInterface(nid=0)
+        ni.pt_alloc(0, eq=eq)
+        pt = ni.pt(0)
+        pt.disable()
+        pt.disable()
+        assert len(eq) == 1
+        assert pt.disable_episodes == 1
+
+
+class TestMELimits:
+    def test_me_exhaustion(self):
+        ni = NetworkInterface(nid=0, limits=NILimits(max_entries=2))
+        ni.pt_alloc(0)
+        ni.me_append(0, MatchEntry(length=1))
+        ni.me_append(0, MatchEntry(length=1))
+        with pytest.raises(PortalsError):
+            ni.me_append(0, MatchEntry(length=1))
+
+    def test_unlink_frees_slot(self):
+        ni = NetworkInterface(nid=0, limits=NILimits(max_entries=1))
+        ni.pt_alloc(0)
+        me = ni.me_append(0, MatchEntry(length=1))
+        ni.me_unlink(0, me)
+        ni.me_append(0, MatchEntry(length=1))  # no longer raises
+
+
+class TestDeposit:
+    def test_deposit_and_fetch_round_trip(self):
+        mem = ArrayMemory(256)
+        ni = NetworkInterface(nid=0, memory=mem)
+        ni.pt_alloc(0)
+        me = ni.me_append(0, MatchEntry(match_bits=1, start=64, length=128))
+        payload = np.arange(32, dtype=np.uint8)
+        ni.deposit(me, offset=10, data=payload)
+        assert np.array_equal(mem.data[74:106], payload)
+        assert np.array_equal(ni.fetch(me, 10, 32), payload)
+
+    def test_deposit_without_memory_is_noop(self):
+        ni = NetworkInterface(nid=0)
+        ni.pt_alloc(0)
+        me = ni.me_append(0, MatchEntry(length=64))
+        ni.deposit(me, 0, np.zeros(8, np.uint8))  # should not raise
+        assert ni.fetch(me, 0, 8) is None
+
+    def test_manage_local_deposits_pack(self):
+        mem = ArrayMemory(256)
+        ni = NetworkInterface(nid=0, memory=mem)
+        ni.pt_alloc(0)
+        me = ni.me_append(
+            0, MatchEntry(options=ME_OP_PUT | ME_MANAGE_LOCAL, start=0, length=256)
+        )
+        for i in range(3):
+            res = ni.match(0, initiator=0, match_bits=0, length=4)
+            ni.deposit(res.entry, res.deposit_offset, np.full(4, i + 1, np.uint8))
+        assert np.array_equal(
+            mem.data[:12], np.repeat(np.array([1, 2, 3], np.uint8), 4)
+        )
+
+
+class TestNILimitsValidation:
+    def test_defaults_valid(self):
+        NILimits()
+
+    def test_user_header_validation(self):
+        limits = NILimits(max_user_hdr_size=16)
+        limits.validate_user_header(16)
+        with pytest.raises(PortalsError):
+            limits.validate_user_header(17)
+
+    def test_hpu_alloc_validation(self):
+        limits = NILimits(max_handler_mem=1024, max_initial_state=512)
+        limits.validate_hpu_alloc(1024)
+        with pytest.raises(PortalsError):
+            limits.validate_hpu_alloc(1025)
+
+    def test_initial_state_cannot_exceed_handler_mem(self):
+        with pytest.raises(PortalsError):
+            NILimits(max_handler_mem=64, max_initial_state=128)
+
+    def test_invalid_payload_size(self):
+        with pytest.raises(PortalsError):
+            NILimits(max_payload_size=0)
