@@ -1,3 +1,27 @@
-from setuptools import setup
+"""Package the ``repro`` sPIN reproduction from the ``src/`` layout.
 
-setup()
+Install for development (replaces the old PYTHONPATH=src incantation)::
+
+    pip install -e .
+
+After that ``python -m repro.bench``, ``python -m repro.campaign``, and
+``python -m pytest`` all work from any directory.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="spin-repro",
+    version="0.1.0",
+    description="Simulation-based reproduction of sPIN: high-performance "
+                "streaming processing in the network (SC'17)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "networkx"],
+    },
+)

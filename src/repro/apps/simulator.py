@@ -116,3 +116,34 @@ def matching_speedup(
         "baseline": base,
         "offloaded": offl,
     }
+
+
+from repro.campaign.registry import Param, scenario as campaign_scenario
+
+
+@campaign_scenario(
+    "apps_matching",
+    params=[
+        Param("app", str, default="MILC",
+              choices=("MILC", "POP", "coMD", "Cloverleaf")),
+        Param("nprocs", int, default=16),
+        Param("iters", int, default=3),
+        Param("eager_threshold", int, default=16384),
+    ],
+    description="Table 5c full-application offloaded-matching speedup",
+    tiny={"nprocs": 4, "iters": 1},
+    sweep={"app": ("MILC", "POP", "coMD", "Cloverleaf")},
+    tags=("table", "apps"),
+)
+def _apps_matching_scenario(app: str, nprocs: int, iters: int,
+                            eager_threshold: int) -> dict:
+    from repro.apps.tracegen import APP_TRACES
+
+    gen = APP_TRACES[app][0]
+    row = matching_speedup(gen(nprocs=nprocs, iters=iters),
+                           eager_threshold=eager_threshold)
+    return {
+        "messages": row["messages"],
+        "ovhd_percent": row["ovhd_percent"],
+        "speedup_percent": row["speedup_percent"],
+    }

@@ -19,21 +19,36 @@ def main(argv=None) -> int:
                              "tab5c fig7a fig7b fig7c spc ablate all")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale sweeps (slower)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes for the sweeps")
+    parser.add_argument("--cache", default=None, metavar="PATH",
+                        help="campaign result cache (JSONL) for incremental "
+                             "regeneration")
     args = parser.parse_args(argv)
 
+    campaign_kw = {"workers": args.workers, "cache_path": args.cache}
     targets = {
         "fig3a": lambda: print(figures.fig3a_timelines()),
-        "fig3b": lambda: print(figures.fig3_pingpong("int", args.full).render()),
-        "fig3c": lambda: print(figures.fig3_pingpong("dis", args.full).render()),
-        "fig3d": lambda: print(figures.fig3d_accumulate(args.full).render()),
-        "fig4": lambda: print(figures.fig4_hpus(args.full).render()),
-        "fig5a": lambda: print(figures.fig5a_broadcast("dis", args.full).render()),
+        "fig3b": lambda: print(figures.fig3_pingpong(
+            "int", args.full, **campaign_kw).render()),
+        "fig3c": lambda: print(figures.fig3_pingpong(
+            "dis", args.full, **campaign_kw).render()),
+        "fig3d": lambda: print(figures.fig3d_accumulate(
+            args.full, **campaign_kw).render()),
+        "fig4": lambda: print(figures.fig4_hpus(
+            args.full, **campaign_kw).render()),
+        "fig5a": lambda: print(figures.fig5a_broadcast(
+            "dis", args.full, **campaign_kw).render()),
         "fig5b": lambda: print(figures.fig5b_timelines()),
-        "tab5c": lambda: print(figures.tab5c_apps(full=args.full).render()),
-        "fig7a": lambda: print(figures.fig7a_datatype(args.full).render()),
+        "tab5c": lambda: print(figures.tab5c_apps(
+            full=args.full, **campaign_kw).render()),
+        "fig7a": lambda: print(figures.fig7a_datatype(
+            args.full, **campaign_kw).render()),
         "fig7b": lambda: print(figures.fig7b_timeline()),
-        "fig7c": lambda: print(figures.fig7c_raid(args.full).render()),
-        "spc": lambda: print(figures.spc_traces(args.full).render()),
+        "fig7c": lambda: print(figures.fig7c_raid(
+            args.full, **campaign_kw).render()),
+        "spc": lambda: print(figures.spc_traces(
+            args.full, **campaign_kw).render()),
         "ablate": lambda: (
             print(figures.ablate_hpus(args.full).render()),
             print(),

@@ -4,23 +4,24 @@ Each function runs the sweep behind one table/figure of the paper and
 returns a :class:`~repro.bench.harness.Table` whose rows carry both the
 measured values and the paper's reference numbers.  ``full=True`` runs the
 paper-scale sweeps (slower); the default keeps every target in seconds.
+
+The grid sweeps go through the campaign layer (:mod:`repro.campaign`):
+figures plan their parameter grids, the executor runs them (``workers``
+fans out over processes, and a ``cache_path`` makes regeneration
+incremental), and the tables are assembled from the returned records.
 """
 
 from __future__ import annotations
 
 from repro.bench.harness import Table
 from repro.bench import paper_data
+from repro.campaign import run_grid, run_points
 from repro.des.trace import render_timeline
 from repro.experiments import (
     accumulate_completion_ns,
-    broadcast_latency_ns,
-    datatype_recv_completion_ns,
-    hpus_needed,
     max_handler_time_ns,
     pingpong_half_rtt_ns,
-    raid_update_completion_ns,
 )
-from repro.experiments.datatype_recv import effective_bandwidth_gib
 
 __all__ = [
     "ablate_eager_threshold",
@@ -43,18 +44,23 @@ __all__ = [
 _PP_SIZES = (8, 64, 512, 4096, 32_768, 262_144)
 
 
-def fig3_pingpong(config: str = "int", full: bool = False) -> Table:
+def fig3_pingpong(config: str = "int", full: bool = False,
+                  workers: int = 1, cache_path=None) -> Table:
     """Fig 3b (int) / 3c (dis): ping-pong half-RTT in microseconds."""
     sizes = _PP_SIZES if not full else tuple(2**k for k in range(2, 19))
+    modes = ("rdma", "p4", "spin_store", "spin_stream")
     table = Table(
         title=f"Fig 3{'b' if config == 'int' else 'c'}: ping-pong half-RTT (us), {config} NIC",
         columns=["size_B", "rdma", "p4", "spin_store", "spin_stream"],
     )
+    res = run_grid("pingpong", {"size": sizes, "mode": modes},
+                   overrides={"config": config},
+                   workers=workers, cache_path=cache_path)
     ref = paper_data.FIG3_SMALL_MSG_NS[config]
     for size in sizes:
         row = {
-            mode: pingpong_half_rtt_ns(size, mode, config) / 1000.0
-            for mode in ("rdma", "p4", "spin_store", "spin_stream")
+            mode: res.lookup(size=size, mode=mode)["half_rtt_ns"] / 1000.0
+            for mode in modes
         }
         paper = (
             f"~{ref['rdma']/1000:.2f}/{ref['p4']/1000:.2f}/{ref['spin']/1000:.2f}us"
@@ -148,7 +154,8 @@ def ablate_eager_threshold(full: bool = False) -> Table:
     return table
 
 
-def fig3d_accumulate(full: bool = False) -> Table:
+def fig3d_accumulate(full: bool = False, workers: int = 1,
+                     cache_path=None) -> Table:
     """Fig 3d: remote accumulate completion time (us), both NIC types."""
     sizes = (8, 512, 4096, 32_768, 262_144) if not full else tuple(
         2**k for k in range(3, 19)
@@ -157,13 +164,17 @@ def fig3d_accumulate(full: bool = False) -> Table:
         title="Fig 3d: remote accumulate completion time (us)",
         columns=["size_B", "rdma_int", "spin_int", "rdma_dis", "spin_dis"],
     )
+    res = run_grid("accumulate", {"size": sizes, "mode": ("rdma", "spin"),
+                                  "config": ("int", "dis")},
+                   workers=workers, cache_path=cache_path)
     for size in sizes:
         table.add(
             size_B=size,
-            rdma_int=accumulate_completion_ns(size, "rdma", "int") / 1000,
-            spin_int=accumulate_completion_ns(size, "spin", "int") / 1000,
-            rdma_dis=accumulate_completion_ns(size, "rdma", "dis") / 1000,
-            spin_dis=accumulate_completion_ns(size, "spin", "dis") / 1000,
+            **{
+                f"{mode}_{cfg}":
+                    res.lookup(size=size, mode=mode, config=cfg)["completion_ns"] / 1000
+                for mode in ("rdma", "spin") for cfg in ("int", "dis")
+            },
             paper="RDMA wins small; sPIN wins large" if size in (8, 262_144) else "",
         )
     table.note("paper: DMA latency penalizes small sPIN accumulates, "
@@ -171,18 +182,22 @@ def fig3d_accumulate(full: bool = False) -> Table:
     return table
 
 
-def fig4_hpus(full: bool = False) -> Table:
+def fig4_hpus(full: bool = False, workers: int = 1, cache_path=None) -> Table:
     """Fig 4: HPUs needed for line rate vs packet size and handler time."""
     sizes = (16, 64, 128, 335, 512, 1024, 2048, 4096)
     table = Table(
         title="Fig 4: HPUs needed for line-rate processing",
         columns=["packet_B", "T=100ns", "T=200ns", "T=500ns", "T=1000ns"],
     )
+    res = run_grid("linerate", {"packet_bytes": sizes,
+                                "handler_ns": (100.0, 200.0, 500.0, 1000.0)},
+                   workers=workers, cache_path=cache_path)
     for s in sizes:
         table.add(
             packet_B=s,
             **{
-                f"T={t}ns": hpus_needed(t, s)
+                f"T={t}ns":
+                    res.lookup(packet_bytes=s, handler_ns=float(t))["hpus"]
                 for t in (100, 200, 500, 1000)
             },
         )
@@ -196,7 +211,8 @@ def fig4_hpus(full: bool = False) -> Table:
     return table
 
 
-def fig5a_broadcast(config: str = "dis", full: bool = False) -> Table:
+def fig5a_broadcast(config: str = "dis", full: bool = False,
+                    workers: int = 1, cache_path=None) -> Table:
     """Fig 5a: binomial broadcast latency (us) vs process count."""
     procs = (4, 16, 64, 256) if not full else (4, 16, 64, 256, 1024)
     table = Table(
@@ -204,15 +220,19 @@ def fig5a_broadcast(config: str = "dis", full: bool = False) -> Table:
         columns=["procs", "rdma_8B", "p4_8B", "spin_8B",
                  "rdma_64KiB", "p4_64KiB", "spin_64KiB"],
     )
+    res = run_grid("broadcast", {"procs": procs, "size": (8, 1 << 16),
+                                 "mode": ("rdma", "p4", "spin")},
+                   overrides={"config": config},
+                   workers=workers, cache_path=cache_path)
     for p in procs:
         table.add(
             procs=p,
-            rdma_8B=broadcast_latency_ns(p, 8, "rdma", config) / 1000,
-            p4_8B=broadcast_latency_ns(p, 8, "p4", config) / 1000,
-            spin_8B=broadcast_latency_ns(p, 8, "spin", config) / 1000,
-            rdma_64KiB=broadcast_latency_ns(p, 1 << 16, "rdma", config) / 1000,
-            p4_64KiB=broadcast_latency_ns(p, 1 << 16, "p4", config) / 1000,
-            spin_64KiB=broadcast_latency_ns(p, 1 << 16, "spin", config) / 1000,
+            **{
+                f"{mode}_{label}":
+                    res.lookup(procs=p, size=size, mode=mode)["latency_ns"] / 1000
+                for mode in ("rdma", "p4", "spin")
+                for label, size in (("8B", 8), ("64KiB", 1 << 16))
+            },
         )
     table.note("paper: sPIN fastest at both sizes; streaming pipelines 64KiB "
                "through the tree")
@@ -259,9 +279,10 @@ def fig5b_timelines() -> str:
     return "\n".join(out)
 
 
-def tab5c_apps(nprocs: int = 16, iters: int = 3, full: bool = False) -> Table:
+def tab5c_apps(nprocs: int = 16, iters: int = 3, full: bool = False,
+               workers: int = 1, cache_path=None) -> Table:
     """Table 5c: full-application speedups from offloaded matching."""
-    from repro.apps import APP_TRACES, matching_speedup
+    from repro.apps import APP_TRACES
 
     if full:
         nprocs, iters = 64, 6
@@ -269,8 +290,11 @@ def tab5c_apps(nprocs: int = 16, iters: int = 3, full: bool = False) -> Table:
         title=f"Table 5c: offloaded matching, {nprocs} procs (paper 64/72)",
         columns=["program", "msgs", "ovhd_%", "spdup_%"],
     )
+    res = run_grid("apps_matching", {"app": tuple(APP_TRACES)},
+                   overrides={"nprocs": nprocs, "iters": iters},
+                   workers=workers, cache_path=cache_path)
     for name, (gen, p_procs, p_ovhd, p_spd) in APP_TRACES.items():
-        row = matching_speedup(gen(nprocs=nprocs, iters=iters))
+        row = res.lookup(app=name)
         table.add(
             program=name,
             msgs=row["messages"],
@@ -282,7 +306,8 @@ def tab5c_apps(nprocs: int = 16, iters: int = 3, full: bool = False) -> Table:
     return table
 
 
-def fig7a_datatype(full: bool = False) -> Table:
+def fig7a_datatype(full: bool = False, workers: int = 1,
+                   cache_path=None) -> Table:
     """Fig 7a: 4 MiB strided receive, completion time and bandwidth."""
     message = 4 << 20
     blocks = (256, 1024, 4096, 32_768, 262_144) if not full else tuple(
@@ -292,15 +317,19 @@ def fig7a_datatype(full: bool = False) -> Table:
         title="Fig 7a: strided receive of 4 MiB (stride = 2 x blocksize)",
         columns=["blocksize_B", "rdma_us", "rdma_GiBs", "spin_us", "spin_GiBs"],
     )
+    res = run_grid("datatype_recv", {"blocksize": blocks,
+                                     "mode": ("rdma", "spin")},
+                   overrides={"message": message, "config": "int"},
+                   workers=workers, cache_path=cache_path)
     for b in blocks:
-        rdma = datatype_recv_completion_ns(message, b, "rdma", "int")
-        spin = datatype_recv_completion_ns(message, b, "spin", "int")
+        rdma = res.lookup(blocksize=b, mode="rdma")
+        spin = res.lookup(blocksize=b, mode="spin")
         table.add(
             blocksize_B=b,
-            rdma_us=rdma / 1000,
-            rdma_GiBs=effective_bandwidth_gib(message, rdma),
-            spin_us=spin / 1000,
-            spin_GiBs=effective_bandwidth_gib(message, spin),
+            rdma_us=rdma["completion_ns"] / 1000,
+            rdma_GiBs=rdma["gib_s"],
+            spin_us=spin["completion_ns"] / 1000,
+            spin_GiBs=spin["gib_s"],
             paper=(
                 f"RDMA {paper_data.FIG7A_GIBS['rdma_high']} GiB/s, "
                 f"sPIN {paper_data.FIG7A_GIBS['spin_line_rate']} GiB/s"
@@ -332,7 +361,7 @@ def fig7b_timeline() -> str:
     return "\n".join(out)
 
 
-def fig7c_raid(full: bool = False) -> Table:
+def fig7c_raid(full: bool = False, workers: int = 1, cache_path=None) -> Table:
     """Fig 7c: RAID-5 update completion time (us)."""
     sizes = (64, 4096, 32_768, 262_144) if not full else tuple(
         2**k for k in range(2, 19)
@@ -341,43 +370,52 @@ def fig7c_raid(full: bool = False) -> Table:
         title="Fig 7c: RAID-5 update completion time (us)",
         columns=["size_B", "rdma_int", "spin_int", "rdma_dis", "spin_dis"],
     )
+    res = run_grid("raid_update", {"size": sizes, "mode": ("rdma", "spin"),
+                                   "config": ("int", "dis")},
+                   workers=workers, cache_path=cache_path)
     for size in sizes:
         table.add(
             size_B=size,
-            rdma_int=raid_update_completion_ns(size, "rdma", "int") / 1000,
-            spin_int=raid_update_completion_ns(size, "spin", "int") / 1000,
-            rdma_dis=raid_update_completion_ns(size, "rdma", "dis") / 1000,
-            spin_dis=raid_update_completion_ns(size, "spin", "dis") / 1000,
+            **{
+                f"{mode}_{cfg}":
+                    res.lookup(size=size, mode=mode, config=cfg)["completion_ns"] / 1000
+                for mode in ("rdma", "spin") for cfg in ("int", "dis")
+            },
             paper="comparable small / sPIN wins large" if size in (64, 262_144) else "",
         )
     return table
 
 
-def spc_traces(full: bool = False) -> Table:
+def spc_traces(full: bool = False, workers: int = 1, cache_path=None) -> Table:
     """§5.3: SPC trace replay — processing-time improvement."""
-    from repro.storage import (
-        generate_financial_trace,
-        generate_websearch_trace,
-        replay_trace_ns,
-    )
-
     nops = 120 if full else 40
     table = Table(
         title="SPC trace replay: RDMA → sPIN processing-time improvement",
         columns=["trace", "config", "rdma_us", "spin_us", "improvement_%"],
     )
     lo, hi = paper_data.SPC_IMPROVEMENT_RANGE
-    for name, gen, seed in (
-        ("financial-1", generate_financial_trace, 11),
-        ("financial-2", generate_financial_trace, 12),
-        ("websearch-1", generate_websearch_trace, 21),
-        ("websearch-2", generate_websearch_trace, 22),
-        ("websearch-3", generate_websearch_trace, 23),
-    ):
-        trace = gen(nops=nops, seed=seed)
+    traces = (
+        ("financial-1", "financial", 11),
+        ("financial-2", "financial", 12),
+        ("websearch-1", "websearch", 21),
+        ("websearch-2", "websearch", 22),
+        ("websearch-3", "websearch", 23),
+    )
+    points = [
+        {"family": family, "trace_seed": seed, "nops": nops,
+         "mode": mode, "config": config}
+        for _, family, seed in traces
+        for config in ("int", "dis")
+        for mode in ("rdma", "spin")
+    ]
+    res = run_points("spc_replay", points, workers=workers,
+                     cache_path=cache_path)
+    for name, family, seed in traces:
         for config in ("int", "dis"):
-            rdma = replay_trace_ns(trace, "rdma", config)
-            spin = replay_trace_ns(trace, "spin", config)
+            rdma = res.lookup(family=family, trace_seed=seed, config=config,
+                              mode="rdma")["elapsed_ns"]
+            spin = res.lookup(family=family, trace_seed=seed, config=config,
+                              mode="spin")["elapsed_ns"]
             table.add(
                 trace=name,
                 config=config,

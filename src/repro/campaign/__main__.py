@@ -1,0 +1,205 @@
+"""CLI: ``python -m repro.campaign`` — list / run / sweep / resume.
+
+Examples::
+
+    python -m repro.campaign list
+    python -m repro.campaign run pingpong --tiny
+    python -m repro.campaign run accumulate -p size=4096 -p mode=spin
+    python -m repro.campaign sweep pingpong --workers 4
+    python -m repro.campaign sweep broadcast -g procs=4,16 -g size=8,65536
+    python -m repro.campaign resume --workers 8
+
+Sweeps record a manifest next to the result cache, so ``resume`` replays
+every known sweep; jobs whose results are already cached execute nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.campaign.executor import run_grid, run_jobs
+from repro.campaign.planner import plan_grid, plan_points
+from repro.campaign.registry import ScenarioError, all_scenarios, get_scenario
+
+DEFAULT_CAMPAIGN_DIR = Path(".campaign")
+
+
+def _cache_path(args) -> Path:
+    return Path(args.campaign_dir) / "results.jsonl"
+
+
+def _manifest_path(args) -> Path:
+    return Path(args.campaign_dir) / "manifests.jsonl"
+
+
+def _parse_kv(pairs: list[str], what: str) -> dict:
+    out = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"bad {what} {pair!r}: expected name=value")
+        name, value = pair.split("=", 1)
+        out[name] = value
+    return out
+
+
+def _parse_grid(pairs: list[str]) -> dict:
+    return {k: v.split(",") for k, v in _parse_kv(pairs, "grid axis").items()}
+
+
+def _print_records(res) -> None:
+    for rec in res.records:
+        params = " ".join(f"{k}={v}" for k, v in sorted(rec["params"].items()))
+        result = " ".join(
+            f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in rec["result"].items()
+        )
+        print(f"  {rec['scenario']:>14}  {params:<52} -> {result}")
+    print(res.summary())
+
+
+def cmd_list(args) -> int:
+    for name, sc in all_scenarios().items():
+        print(f"{name:<16} {sc.description}")
+        if args.params:
+            for p in sc.params:
+                choices = f" choices={list(p.choices)}" if p.choices else ""
+                print(f"    {p.name}: {p.type.__name__} = {p.default!r}{choices}")
+            if sc.sweep:
+                axes = ", ".join(f"{k}×{len(v)}" for k, v in sc.sweep.items())
+                npoints = 1
+                for v in sc.sweep.values():
+                    npoints *= len(v)
+                print(f"    default sweep: {axes} ({npoints} points)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    sc = get_scenario(args.scenario)
+    overrides = dict(sc.tiny) if args.tiny else {}
+    overrides.update(_parse_kv(args.param, "param"))
+    jobs = plan_points(args.scenario, [overrides], base_seed=args.seed)
+    res = run_jobs(jobs, cache_path=None if args.no_cache else _cache_path(args),
+                   progress=print if args.verbose else None)
+    _print_records(res)
+    return 0
+
+
+def _record_manifest(args, scenario: str, grid: dict) -> None:
+    path = _manifest_path(args)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps({
+            "scenario": scenario,
+            "grid": grid,
+            "base_seed": args.seed,
+        }, sort_keys=True) + "\n")
+
+
+def cmd_sweep(args) -> int:
+    sc = get_scenario(args.scenario)
+    grid = _parse_grid(args.grid) or {k: list(v) for k, v in sc.sweep.items()}
+    if not grid:
+        raise SystemExit(f"scenario {args.scenario!r} has no default sweep; "
+                         f"pass -g axis=v1,v2")
+    # Validate the grid BEFORE recording the manifest — a typo'd axis must
+    # not poison future `resume` runs.
+    jobs = plan_grid(args.scenario, grid, base_seed=args.seed)
+    cache = None if args.no_cache else _cache_path(args)
+    if cache is not None:
+        _record_manifest(args, args.scenario, grid)
+    res = run_jobs(jobs, workers=args.workers, cache_path=cache,
+                   progress=print if args.verbose else None)
+    _print_records(res)
+    return 0
+
+
+def cmd_resume(args) -> int:
+    path = _manifest_path(args)
+    if not path.exists():
+        print(f"no manifests at {path}; nothing to resume")
+        return 1
+    manifests: dict[tuple, dict] = {}
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            m = json.loads(line)
+            manifests[(m["scenario"], json.dumps(m["grid"], sort_keys=True))] = m
+    total_exec = total_cached = failures = 0
+    for m in manifests.values():
+        if args.scenario and m["scenario"] != args.scenario:
+            continue
+        try:
+            res = run_grid(m["scenario"], m["grid"], workers=args.workers,
+                           cache_path=_cache_path(args),
+                           base_seed=m.get("base_seed", 0),
+                           progress=print if args.verbose else None)
+        except ScenarioError as exc:
+            # One stale/broken manifest must not block the others.
+            print(f"{m['scenario']}: skipped ({exc})", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"{m['scenario']}: {res.summary()}")
+        total_exec += res.executed
+        total_cached += res.cached
+    print(f"resume total: {total_exec} executed, {total_cached} cached"
+          + (f", {failures} manifests skipped" if failures else ""))
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Simulation campaigns: sweep scenarios across parameter "
+                    "grids with caching and parallel execution.",
+    )
+    parser.add_argument("--campaign-dir", default=str(DEFAULT_CAMPAIGN_DIR),
+                        help="directory for the result cache and manifests")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for deterministic per-job seeding")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--params", action="store_true",
+                        help="also show parameter spaces and default sweeps")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one scenario point")
+    p_run.add_argument("scenario")
+    p_run.add_argument("-p", "--param", action="append", default=[],
+                       metavar="NAME=VALUE")
+    p_run.add_argument("--tiny", action="store_true",
+                       help="apply the scenario's smoke-test parameters")
+    p_run.add_argument("--no-cache", action="store_true")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run a parameter-grid sweep")
+    p_sweep.add_argument("scenario")
+    p_sweep.add_argument("-g", "--grid", action="append", default=[],
+                         metavar="AXIS=V1,V2,...")
+    p_sweep.add_argument("-w", "--workers", type=int, default=1)
+    p_sweep.add_argument("--no-cache", action="store_true")
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_resume = sub.add_parser("resume",
+                              help="re-run recorded sweeps (cache skips "
+                                   "finished jobs)")
+    p_resume.add_argument("scenario", nargs="?", default=None)
+    p_resume.add_argument("-w", "--workers", type=int, default=1)
+    p_resume.set_defaults(fn=cmd_resume)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

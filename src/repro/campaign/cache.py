@@ -1,0 +1,66 @@
+"""JSON-lines result cache for campaign runs.
+
+Each record is one line of JSON::
+
+    {"key": "...", "scenario": "...", "params": {...}, "seed": 123,
+     "code_version": "...", "result": {...}, "elapsed_s": 0.42}
+
+``key`` binds ``(scenario, params, code_version)``; a sweep consults the
+cache before executing and skips any job whose key is present, which is
+what makes interrupted campaigns resumable and repeated campaigns free.
+Records are append-only (last record for a key wins), so concurrent
+history survives and the file doubles as a run log.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["ResultCache"]
+
+#: Fields of a record that identify the computation (everything except
+#: measurement noise like wall-clock timings).
+DETERMINISTIC_FIELDS = ("key", "scenario", "params", "seed", "code_version", "result")
+
+
+class ResultCache:
+    """Append-only JSONL store keyed by the planner's cache key."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def load(self) -> dict[str, dict]:
+        """All records by key (last one wins); {} if the file is absent."""
+        records: dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # tolerate a torn final line from a killed run
+                if isinstance(rec, dict) and "key" in rec:
+                    records[rec["key"]] = rec
+        return records
+
+    def append(self, record: dict) -> None:
+        """Durably append one result record."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+
+    def append_many(self, records: Iterable[dict]) -> None:
+        for rec in records:
+            self.append(rec)
+
+    @staticmethod
+    def deterministic_view(record: dict) -> dict:
+        """The record minus timing noise — what equivalence tests compare."""
+        return {k: record[k] for k in DETERMINISTIC_FIELDS if k in record}

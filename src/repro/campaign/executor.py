@@ -1,0 +1,203 @@
+"""Campaign executor: run planned jobs serially or across worker processes.
+
+Guarantees:
+
+* **Determinism** — every job re-seeds ``random`` and ``numpy.random``
+  from its planner-assigned seed before the scenario runs, so a sweep
+  produces byte-identical results whether it runs serially, with N
+  workers, or resumed across several invocations.
+* **Caching** — with a cache attached, finished jobs are skipped on
+  re-run (key = scenario + params + code version) and fresh results are
+  appended as they complete, so a killed campaign resumes where it died.
+* **Isolation** — parallel jobs run in forked worker processes; one
+  simulation per process at a time, no shared simulator state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.planner import Job, plan_grid, plan_points
+from repro.campaign.registry import get_scenario
+from repro.campaign.version import code_version
+
+__all__ = ["CampaignResult", "run_grid", "run_jobs", "run_one", "run_points"]
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign invocation."""
+
+    jobs: list[Job]
+    #: One record per job, in job (planner) order.
+    records: list[dict] = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+    wall_s: float = 0.0
+
+    def results(self) -> list[dict]:
+        """Just the scenario result dicts, in job order."""
+        return [rec["result"] for rec in self.records]
+
+    def lookup(self, **params: Any) -> dict:
+        """Result of the unique record matching all given param values."""
+        matches = [
+            rec["result"] for rec in self.records
+            if all(rec["params"].get(k) == v for k, v in params.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{len(matches)} records match {params!r} (need exactly 1)"
+            )
+        return matches[0]
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.jobs)} jobs: {self.executed} executed, "
+            f"{self.cached} cached, {self.wall_s:.2f}s wall"
+        )
+
+
+def _seed_rngs(seed: int) -> None:
+    random.seed(seed)
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep elsewhere
+        pass
+    else:
+        np.random.seed(seed % 2**32)
+
+
+def _execute_job(payload: tuple) -> dict:
+    """Worker entry point: run one job and return its cache record.
+
+    Takes a plain tuple (picklable under any start method) and looks the
+    scenario up in the worker's own registry, so closures never cross the
+    process boundary.
+    """
+    scenario_name, params, seed, key, version = payload
+    sc = get_scenario(scenario_name)
+    _seed_rngs(seed)
+    t0 = time.perf_counter()
+    result = sc.fn(**dict(params))
+    return {
+        "key": key,
+        "scenario": scenario_name,
+        "params": dict(params),
+        "seed": seed,
+        "code_version": version,
+        "result": result,
+        "elapsed_s": round(time.perf_counter() - t0, 6),
+    }
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    workers: int = 1,
+    cache_path: Optional[str | Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Execute jobs, consulting/filling the cache; returns ordered records."""
+    t_start = time.perf_counter()
+    version = code_version()
+    cache = ResultCache(cache_path) if cache_path is not None else None
+    known = cache.load() if cache is not None else {}
+
+    by_key: dict[str, dict] = {}
+    pending: list[Job] = []
+    seen_keys: set[str] = set()
+    for job in jobs:
+        if job.key in known:
+            by_key[job.key] = known[job.key]
+        elif job.key not in seen_keys:
+            pending.append(job)
+        seen_keys.add(job.key)
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    payloads = [
+        (job.scenario, job.params, job.seed, job.key, version) for job in pending
+    ]
+    executed = 0
+    if payloads:
+        if workers > 1:
+            ctx = _mp_context()
+            with ctx.Pool(processes=min(workers, len(payloads))) as pool:
+                for rec in pool.imap_unordered(_execute_job, payloads):
+                    by_key[rec["key"]] = rec
+                    if cache is not None:
+                        cache.append(rec)
+                    executed += 1
+                    note(f"[{executed}/{len(payloads)}] done "
+                         f"{rec['scenario']} {rec['params']}")
+        else:
+            for payload in payloads:
+                rec = _execute_job(payload)
+                by_key[rec["key"]] = rec
+                if cache is not None:
+                    cache.append(rec)
+                executed += 1
+                note(f"[{executed}/{len(payloads)}] done "
+                     f"{rec['scenario']} {rec['params']}")
+
+    return CampaignResult(
+        jobs=list(jobs),
+        records=[by_key[job.key] for job in jobs],
+        executed=executed,
+        cached=len(jobs) - executed,
+        wall_s=time.perf_counter() - t_start,
+    )
+
+
+def run_grid(
+    scenario: str,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    workers: int = 1,
+    cache_path: Optional[str | Path] = None,
+    base_seed: int = 0,
+    overrides: Optional[Mapping[str, Any]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Plan a grid sweep and execute it (the main campaign entry point)."""
+    jobs = plan_grid(scenario, grid, base_seed=base_seed, overrides=overrides)
+    return run_jobs(jobs, workers=workers, cache_path=cache_path,
+                    progress=progress)
+
+
+def run_points(
+    scenario: str,
+    points: Sequence[Mapping[str, Any]],
+    workers: int = 1,
+    cache_path: Optional[str | Path] = None,
+    base_seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Plan and execute an explicit list of parameter points."""
+    jobs = plan_points(scenario, points, base_seed=base_seed)
+    return run_jobs(jobs, workers=workers, cache_path=cache_path,
+                    progress=progress)
+
+
+def run_one(
+    scenario: str,
+    overrides: Optional[Mapping[str, Any]] = None,
+    cache_path: Optional[str | Path] = None,
+    base_seed: int = 0,
+) -> dict:
+    """Run a single parameter point and return its result dict."""
+    res = run_points(scenario, [dict(overrides or {})],
+                     cache_path=cache_path, base_seed=base_seed)
+    return res.records[0]["result"]

@@ -1,0 +1,36 @@
+"""Code-version fingerprint for cache keys.
+
+Cached campaign results are only valid for the code that produced them, so
+every cache record carries a digest of the ``repro`` package sources.  The
+digest covers file *contents* (not mtimes) and is computed once per
+process.  ``REPRO_CODE_VERSION`` overrides it, which lets tests and
+long-lived campaign archives pin an explicit version string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+__all__ = ["code_version"]
+
+_CACHED: str | None = None
+
+
+def code_version() -> str:
+    """Hex digest identifying the current ``repro`` source tree."""
+    global _CACHED
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    if _CACHED is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _CACHED = h.hexdigest()[:16]
+    return _CACHED

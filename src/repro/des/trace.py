@@ -63,6 +63,22 @@ class Timeline:
             return (0, 0)
         return (min(s.start for s in self.spans), max(s.end for s in self.spans))
 
+    def canonical_bytes(self) -> bytes:
+        """Byte-exact encoding of the recorded spans, in recording order.
+
+        Two simulation runs are event-trace identical iff these bytes are
+        identical — the golden-trace regression tests hash this.
+        """
+        return "\n".join(
+            f"{s.rank}|{s.lane}|{s.start}|{s.end}|{s.label}" for s in self.spans
+        ).encode()
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_bytes`."""
+        import hashlib
+
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
 
 def render_timeline(
     timeline: Timeline,

@@ -17,6 +17,7 @@ memory (measured from the initiator's post).
 
 from __future__ import annotations
 
+from repro.campaign.registry import Param, scenario as campaign_scenario
 from repro.core.api import PtlHPUAllocMem, spin_me
 from repro.experiments.common import config_by_name, pair_cluster
 from repro.handlers_library import ACCUMULATE_CYCLES_PER_BYTE, make_accumulate_handlers
@@ -28,13 +29,21 @@ __all__ = ["accumulate_completion_ns"]
 ACC_TAG = 7
 
 
-def accumulate_completion_ns(size: int, mode: str, config: MachineConfig | str) -> float:
-    """Completion time (ns) of one remote accumulate of ``size`` bytes."""
+def accumulate_completion_ns(size: int, mode: str, config: MachineConfig | str,
+                             timeline_sink: list | None = None) -> float:
+    """Completion time (ns) of one remote accumulate of ``size`` bytes.
+
+    ``timeline_sink``, when given a list, receives the cluster's
+    :class:`~repro.des.trace.Timeline` (trace recording enabled).
+    """
     if isinstance(config, str):
         config = config_by_name(config)
     if mode not in ("rdma", "spin"):
         raise ValueError(f"unknown mode {mode!r}")
-    cluster = pair_cluster(config, with_memory=False)
+    cluster = pair_cluster(config, with_memory=False,
+                           trace=timeline_sink is not None)
+    if timeline_sink is not None:
+        timeline_sink.append(cluster.timeline)
     env = cluster.env
     origin, target = cluster[0], cluster[1]
     done = env.event()
@@ -76,3 +85,20 @@ def accumulate_completion_ns(size: int, mode: str, config: MachineConfig | str) 
     elapsed_ps = env.run(until=proc)
     cluster.run()
     return elapsed_ps / 1000.0
+
+
+@campaign_scenario(
+    "accumulate",
+    params=[
+        Param("size", int, default=4096, help="operand size in bytes"),
+        Param("mode", str, default="spin", choices=("rdma", "spin")),
+        Param("config", str, default="int", choices=("int", "dis")),
+    ],
+    description="Fig 3d remote accumulate completion time",
+    tiny={"size": 64},
+    sweep={"size": (8, 512, 4096, 32_768, 262_144),
+           "mode": ("rdma", "spin"), "config": ("int", "dis")},
+    tags=("figure",),
+)
+def _accumulate_scenario(size: int, mode: str, config: str) -> dict:
+    return {"completion_ns": accumulate_completion_ns(size, mode, config)}

@@ -107,3 +107,24 @@ def broadcast_latency_ns(
     elapsed_ps = env.run(until=proc)
     cluster.run()
     return elapsed_ps / 1000.0
+
+
+from repro.campaign.registry import Param, scenario as campaign_scenario
+
+
+@campaign_scenario(
+    "broadcast",
+    params=[
+        Param("procs", int, default=16, help="process count"),
+        Param("size", int, default=8, help="message size in bytes"),
+        Param("mode", str, default="spin", choices=BCAST_MODES),
+        Param("config", str, default="dis", choices=("int", "dis")),
+    ],
+    description="Fig 5a binomial broadcast latency",
+    tiny={"procs": 4, "size": 8},
+    sweep={"procs": (4, 16, 64, 256), "size": (8, 1 << 16),
+           "mode": BCAST_MODES},
+    tags=("figure", "collective"),
+)
+def _broadcast_scenario(procs: int, size: int, mode: str, config: str) -> dict:
+    return {"latency_ns": broadcast_latency_ns(procs, size, mode, config)}

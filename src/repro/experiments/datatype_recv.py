@@ -93,3 +93,26 @@ def datatype_recv_completion_ns(
 def effective_bandwidth_gib(message_bytes: int, completion_ns: float) -> float:
     """GiB/s figure-of-merit used by Fig. 7a's annotations."""
     return message_bytes / (completion_ns * 1e-9) / (1 << 30)
+
+
+from repro.campaign.registry import Param, scenario as campaign_scenario
+
+
+@campaign_scenario(
+    "datatype_recv",
+    params=[
+        Param("message", int, default=4 << 20, help="message size in bytes"),
+        Param("blocksize", int, default=4096, help="vector block size"),
+        Param("mode", str, default="spin", choices=("rdma", "spin")),
+        Param("config", str, default="int", choices=("int", "dis")),
+    ],
+    description="Fig 7a strided datatype receive completion/bandwidth",
+    tiny={"message": 1 << 16, "blocksize": 1024},
+    sweep={"blocksize": (256, 1024, 4096, 32_768, 262_144),
+           "mode": ("rdma", "spin")},
+    tags=("figure", "datatypes"),
+)
+def _datatype_scenario(message: int, blocksize: int, mode: str, config: str) -> dict:
+    completion = datatype_recv_completion_ns(message, blocksize, mode, config)
+    return {"completion_ns": completion,
+            "gib_s": effective_bandwidth_gib(message, completion)}

@@ -50,3 +50,26 @@ def max_handler_time_ns(
     if hpus < 1:
         raise ValueError("need at least one HPU")
     return hpus / params.arrival_rate_pps(packet_bytes) / 1000.0
+
+
+from repro.campaign.registry import Param, scenario as campaign_scenario
+
+
+@campaign_scenario(
+    "linerate",
+    params=[
+        Param("handler_ns", float, default=200.0, help="handler time T"),
+        Param("packet_bytes", int, default=335, help="packet size s"),
+    ],
+    description="Fig 4 Little's-law HPU sizing for line rate",
+    tiny={},
+    sweep={"packet_bytes": (16, 64, 128, 335, 512, 1024, 2048, 4096),
+           "handler_ns": (100.0, 200.0, 500.0, 1000.0)},
+    tags=("figure", "analytics"),
+)
+def _linerate_scenario(handler_ns: float, packet_bytes: int) -> dict:
+    return {
+        "hpus": hpus_needed(handler_ns, packet_bytes),
+        "arrival_mmps": arrival_rate_mmps(packet_bytes),
+        "max_handler_ns": max_handler_time_ns(8, packet_bytes),
+    }

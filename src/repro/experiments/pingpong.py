@@ -21,6 +21,7 @@ CPU (event poll included), as in Fig. 3b/3c.
 
 from __future__ import annotations
 
+from repro.campaign.registry import Param, scenario as campaign_scenario
 from repro.core.api import PtlHPUAllocMem, spin_me
 from repro.experiments.common import config_by_name, pair_cluster
 from repro.handlers_library import PONG_TAG, make_pingpong_handlers
@@ -35,13 +36,21 @@ PING_TAG = 1
 
 
 def pingpong_half_rtt_ns(size: int, mode: str, config: MachineConfig | str,
-                         noise=None) -> float:
-    """Half round-trip time in nanoseconds for one ping-pong."""
+                         noise=None, timeline_sink: list | None = None) -> float:
+    """Half round-trip time in nanoseconds for one ping-pong.
+
+    ``timeline_sink``, when given a list, receives the cluster's
+    :class:`~repro.des.trace.Timeline` (trace recording enabled) — used by
+    the golden-trace determinism tests.
+    """
     if isinstance(config, str):
         config = config_by_name(config)
     if mode not in PINGPONG_MODES:
         raise ValueError(f"unknown mode {mode!r}")
-    cluster = pair_cluster(config, with_memory=False)
+    cluster = pair_cluster(config, with_memory=False,
+                           trace=timeline_sink is not None)
+    if timeline_sink is not None:
+        timeline_sink.append(cluster.timeline)
     if noise is not None:
         cluster[1].cpu.noise = noise
     env = cluster.env
@@ -107,3 +116,22 @@ def pingpong_half_rtt_ns(size: int, mode: str, config: MachineConfig | str,
     rtt_ps = env.run(until=proc)
     cluster.run()  # drain remaining events
     return rtt_ps / 2 / 1000.0
+
+
+@campaign_scenario(
+    "pingpong",
+    params=[
+        Param("size", int, default=4096, help="message size in bytes"),
+        Param("mode", str, default="spin_stream", choices=PINGPONG_MODES),
+        Param("config", str, default="int", choices=("int", "dis")),
+    ],
+    description="Fig 3a-c ping-pong half-RTT across protocol variants",
+    tiny={"size": 64, "mode": "spin_store"},
+    # 16 points; multi-MiB messages so each job carries real simulation
+    # work and a 4-worker sweep beats the serial run by wall-clock.
+    sweep={"size": (4 << 20, 8 << 20, 16 << 20, 32 << 20),
+           "mode": PINGPONG_MODES},
+    tags=("figure", "latency"),
+)
+def _pingpong_scenario(size: int, mode: str, config: str) -> dict:
+    return {"half_rtt_ns": pingpong_half_rtt_ns(size, mode, config)}

@@ -28,3 +28,25 @@ def raid_update_completion_ns(
     proc = env.process(client())
     elapsed_ps = env.run(until=proc)
     return elapsed_ps / 1000.0
+
+
+from repro.campaign.registry import Param, scenario as campaign_scenario
+
+
+@campaign_scenario(
+    "raid_update",
+    params=[
+        Param("size", int, default=4096, help="client write size in bytes"),
+        Param("mode", str, default="spin", choices=("rdma", "spin")),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("ndata", int, default=4, help="data servers in the stripe"),
+    ],
+    description="Fig 7c RAID-5 update completion time",
+    tiny={"size": 64},
+    sweep={"size": (64, 4096, 32_768, 262_144), "mode": ("rdma", "spin"),
+           "config": ("int", "dis")},
+    tags=("figure", "storage"),
+)
+def _raid_scenario(size: int, mode: str, config: str, ndata: int) -> dict:
+    return {"completion_ns": raid_update_completion_ns(size, mode, config,
+                                                       ndata=ndata)}

@@ -17,7 +17,7 @@ from repro.machine.dma import DMAEngine
 from repro.machine.host import HostCPU, HostMemory
 from repro.machine.nic import BaselineNIC
 from repro.network.fabric import Fabric
-from repro.network.packets import Message
+from repro.network.packets import Message, reset_msg_ids
 from repro.network.topology import FatTree
 from repro.portals.counters import Counter
 from repro.portals.events import EventQueue, PortalsEvent
@@ -170,6 +170,7 @@ class Cluster:
         with_memory: bool = True,
     ):
         self.config = config or discrete_config()
+        reset_msg_ids()  # fresh id space: traces are run-to-run identical
         self.env = Environment()
         self.timeline = Timeline(enabled=trace)
         if topology is None:

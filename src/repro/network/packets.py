@@ -19,9 +19,29 @@ from typing import Any, Optional
 
 import numpy as np
 
-__all__ = ["Message", "Packet", "packetize", "reassemble"]
+__all__ = ["Message", "Packet", "packetize", "reassemble", "reset_msg_ids"]
 
 _msg_ids = itertools.count()
+
+
+def reset_msg_ids() -> None:
+    """Restart the message-id sequence.
+
+    Message ids are simulation bookkeeping (trace labels, NIC reassembly
+    keys); the counter is process-global, so without a reset a second
+    simulation in the same process would label its messages differently
+    and break byte-for-byte trace reproducibility.
+    :class:`~repro.machine.cluster.Cluster` calls this at construction.
+
+    Invariant: one *active* cluster per process.  Constructing cluster B
+    rewinds the counter, so driving a previously built cluster A
+    afterwards would reuse ids still live inside A (NIC rx state is keyed
+    by msg_id).  Every experiment/scenario builds one cluster and drains
+    it before the next exists; keep it that way, or move the counter into
+    the cluster and thread it through every ``Message(...)`` site.
+    """
+    global _msg_ids
+    _msg_ids = itertools.count()
 
 
 @dataclass

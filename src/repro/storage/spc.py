@@ -178,3 +178,33 @@ def replay_trace_ns(
     proc = env.process(client())
     elapsed_ps = env.run(until=proc)
     return elapsed_ps / 1000.0
+
+
+from repro.campaign.registry import Param, scenario as campaign_scenario
+
+_TRACE_FAMILIES = {
+    "financial": generate_financial_trace,
+    "websearch": generate_websearch_trace,
+}
+
+
+@campaign_scenario(
+    "spc_replay",
+    params=[
+        Param("family", str, default="financial",
+              choices=tuple(_TRACE_FAMILIES)),
+        Param("trace_seed", int, default=11, help="trace generator seed"),
+        Param("nops", int, default=40, help="I/Os to replay"),
+        Param("mode", str, default="spin", choices=("rdma", "spin")),
+        Param("config", str, default="int", choices=("int", "dis")),
+    ],
+    description="SPC trace replay over the RAID cluster (section 5.3)",
+    tiny={"nops": 8},
+    sweep={"family": ("financial", "websearch"), "mode": ("rdma", "spin"),
+           "config": ("int", "dis")},
+    tags=("storage", "trace"),
+)
+def _spc_replay_scenario(family: str, trace_seed: int, nops: int,
+                         mode: str, config: str) -> dict:
+    trace = _TRACE_FAMILIES[family](nops=nops, seed=trace_seed)
+    return {"elapsed_ns": replay_trace_ns(trace, mode, config)}

@@ -114,3 +114,38 @@ class KVStore:
             if k == key:
                 return v
         return None
+
+
+from repro.campaign.registry import Param, scenario as campaign_scenario
+
+
+@campaign_scenario(
+    "kvstore_insert",
+    params=[
+        Param("nservers", int, default=2),
+        Param("nkeys", int, default=32, help="keys inserted by the client"),
+        Param("value_bytes", int, default=32),
+        Param("config", str, default="int", choices=("int", "dis")),
+    ],
+    description="Section 5.4 KV-store NIC-side insert workload",
+    tiny={"nkeys": 8},
+    sweep={"nservers": (1, 2, 4), "nkeys": (32, 128)},
+    tags=("usecase", "kvstore"),
+)
+def _kvstore_scenario(nservers: int, nkeys: int, value_bytes: int,
+                      config: str) -> dict:
+    store = KVStore(nservers=nservers, config=config)
+    env = store.env
+
+    def client():
+        for i in range(nkeys):
+            yield from store.insert(f"key{i}".encode(), b"v" * value_bytes)
+
+    proc = env.process(client())
+    env.run(until=proc)
+    store.cluster.run()
+    return {
+        "total_ns": env.now / 1000.0,
+        "nic_inserts": store.inserted_by_nic,
+        "host_fallback": store.deferred_to_host,
+    }

@@ -3,7 +3,8 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.des import Environment, ns
+from repro.des import Environment, Event, ns
+from repro.des.engine import PRIORITY_NORMAL, PRIORITY_URGENT
 from repro.des.resources import RateLimiter, Resource, Server
 
 
@@ -112,3 +113,109 @@ def test_unit_conversions_consistent(data):
     value = data.draw(st.floats(min_value=0, max_value=1e6, allow_nan=False))
     # ns() rounds to the nearest picosecond: error bounded by 0.5 ps.
     assert abs(ns(value) - value * 1000) <= 0.5
+
+
+# --- event-ordering invariants of the kernel queue -------------------------
+#
+# The heap orders by (time, priority, _seq): same-timestamp URGENT events
+# run before NORMAL ones, and within one (time, priority) class events fire
+# in scheduling (FIFO) order.  These are white-box tests against
+# Environment._schedule — the exact contract process resumption and the
+# golden-trace determinism guarantees are built on.
+
+
+def _prearmed_event(env, callback):
+    """A successful event ready to be pushed onto the queue directly."""
+    ev = Event(env)
+    ev._ok = True
+    ev._value = None
+    ev.callbacks.append(callback)
+    return ev
+
+
+@given(
+    schedule=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),  # delay: force collisions
+            st.sampled_from([PRIORITY_URGENT, PRIORITY_NORMAL]),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_same_timestamp_urgent_before_normal_and_fifo(schedule):
+    """Fire order == sort by (time, priority, insertion index)."""
+    env = Environment()
+    fired = []
+    for idx, (delay, priority) in enumerate(schedule):
+        ev = _prearmed_event(env, lambda e, idx=idx: fired.append(idx))
+        env._schedule(ev, priority, delay)
+    env.run()
+    expected = [
+        idx
+        for idx, (delay, priority) in sorted(
+            enumerate(schedule), key=lambda item: (item[1][0], item[1][1], item[0])
+        )
+    ]
+    assert fired == expected
+
+
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=40)
+)
+def test_timeouts_with_equal_delay_fire_in_creation_order(delays):
+    """Timeout events (all NORMAL) tie-break FIFO via _seq."""
+    env = Environment()
+    fired = []
+    for idx, d in enumerate(delays):
+        env.timeout(d).callbacks.append(lambda e, idx=idx: fired.append(idx))
+    env.run()
+    expected = [
+        idx for idx, d in sorted(enumerate(delays), key=lambda item: (item[1], item[0]))
+    ]
+    assert fired == expected
+
+
+@given(
+    n_normal=st.integers(min_value=1, max_value=20),
+    n_urgent=st.integers(min_value=1, max_value=20),
+    delay=st.integers(min_value=0, max_value=1000),
+)
+def test_urgent_class_fully_precedes_normal_class(n_normal, n_urgent, delay):
+    """Interleaved scheduling never lets a NORMAL event pre-empt an URGENT one."""
+    env = Environment()
+    fired = []
+    # Interleave the two classes at the same timestamp.
+    for i in range(max(n_normal, n_urgent)):
+        if i < n_normal:
+            ev = _prearmed_event(env, lambda e: fired.append("N"))
+            env._schedule(ev, PRIORITY_NORMAL, delay)
+        if i < n_urgent:
+            ev = _prearmed_event(env, lambda e: fired.append("U"))
+            env._schedule(ev, PRIORITY_URGENT, delay)
+    env.run()
+    assert fired == ["U"] * n_urgent + ["N"] * n_normal
+    assert env.now == delay
+
+
+@given(
+    schedule=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.sampled_from([PRIORITY_URGENT, PRIORITY_NORMAL])),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_replay_is_deterministic(schedule):
+    """Two environments fed the same schedule fire in the same order."""
+
+    def run_once():
+        env = Environment()
+        fired = []
+        for idx, (delay, priority) in enumerate(schedule):
+            ev = _prearmed_event(env, lambda e, idx=idx: fired.append(idx))
+            env._schedule(ev, priority, delay)
+        env.run()
+        return fired
+
+    assert run_once() == run_once()
