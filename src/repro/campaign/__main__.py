@@ -81,9 +81,51 @@ def cmd_run(args) -> int:
     overrides = dict(sc.tiny) if args.tiny else {}
     overrides.update(_parse_kv(args.param, "param"))
     jobs = plan_points(args.scenario, [overrides], base_seed=args.seed)
+    if args.profile:
+        # Profiled runs bypass the cache (a cache hit would profile nothing).
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        res = run_jobs(jobs, cache_path=None,
+                       progress=print if args.verbose else None)
+        profiler.disable()
+        _print_records(res)
+        print(f"\n--- cProfile: top 25 by cumulative time "
+              f"({args.scenario}) ---")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        return 0
     res = run_jobs(jobs, cache_path=None if args.no_cache else _cache_path(args),
                    progress=print if args.verbose else None)
     _print_records(res)
+    return 0
+
+
+def cmd_perf(args) -> int:
+    from repro.perf.basket import compare_to_baseline, load_bench, run_baskets
+
+    doc = run_baskets(tiny=args.tiny, names=args.basket or None, progress=print,
+                      repeats=args.repeats)
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        bench = load_bench(args.check)
+        which = "tiny" if args.tiny else "full"
+        committed = bench.get("optimized", {}).get(which) or bench.get(which) or {}
+        ratios = compare_to_baseline(doc, committed)
+        if not ratios:
+            print(f"error: no comparable baskets in {args.check}", file=sys.stderr)
+            return 2
+        failed = {k: r for k, r in ratios.items() if r < args.min_ratio}
+        for name, ratio in sorted(ratios.items()):
+            status = "FAIL" if name in failed else "ok"
+            print(f"  {name:>14}: {ratio:.2f}x of committed ({status})")
+        if failed:
+            print(f"error: events/sec regressed below {args.min_ratio:.2f}x "
+                  f"of the committed numbers: {sorted(failed)}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -176,7 +218,31 @@ def main(argv=None) -> int:
     p_run.add_argument("--tiny", action="store_true",
                        help="apply the scenario's smoke-test parameters")
     p_run.add_argument("--no-cache", action="store_true")
+    p_run.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the top-25 "
+                            "cumulative entries (disables the cache)")
     p_run.set_defaults(fn=cmd_run)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="measure the perf basket (kernel events/sec per workload mix)")
+    p_perf.add_argument("--tiny", action="store_true",
+                        help="small-scale smoke variant of each basket")
+    p_perf.add_argument("-b", "--basket", action="append", default=[],
+                        metavar="NAME", help="run only the named basket(s)")
+    p_perf.add_argument("--repeats", type=int, default=3,
+                        help="measure each basket N times, keep the best "
+                             "(default 3; guards against scheduler noise)")
+    p_perf.add_argument("--out", default=None, metavar="FILE",
+                        help="write the measurement document as JSON")
+    p_perf.add_argument("--check", default=None, metavar="BENCH_JSON",
+                        help="compare events/sec against a committed "
+                             "BENCH_*.json and fail on regression")
+    p_perf.add_argument("--min-ratio", type=float, default=0.70,
+                        help="minimum acceptable events/sec ratio vs the "
+                             "committed numbers (default 0.70 = fail when "
+                             "regressed >30%%)")
+    p_perf.set_defaults(fn=cmd_perf)
 
     p_sweep = sub.add_parser("sweep", help="run a parameter-grid sweep")
     p_sweep.add_argument("scenario")

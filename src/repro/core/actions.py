@@ -21,7 +21,7 @@ from typing import Any, Generator, Optional
 
 import numpy as np
 
-from repro.des.engine import Event
+from repro.des.engine import Event, Timeout
 from repro.network.packets import Message
 from repro.portals.counters import Counter
 from repro.core.handlers import HandlerError, HPUMemory
@@ -36,6 +36,9 @@ HANDLER_HOST_MEM = "handler"
 
 class HandlerContext:
     """Execution context for one handler invocation on one HPU."""
+
+    __slots__ = ("nic", "env", "machine", "hs", "rx_state", "hpu_id",
+                 "_cycles", "total_cycles", "dma_completions")
 
     def __init__(self, nic, handler_set, rx_state, hpu_id: int):
         self.nic = nic
@@ -93,7 +96,7 @@ class HandlerContext:
         if self._cycles:
             cycles, self._cycles = self._cycles, 0
             self.total_cycles += cycles
-            yield self.env.timeout(self.nic.params.hpu_cycles_to_ps(cycles))
+            yield Timeout(self.env, self.nic.params.hpu_cycles_to_ps(cycles))
 
     def _action(self) -> Generator:
         self.charge(self.nic.cost.action_cycles)

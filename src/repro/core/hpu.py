@@ -51,7 +51,11 @@ class HPUPool:
         return len(self._free)
 
     def acquire(self) -> Generator[object, object, int]:
-        """Wait for a free HPU; returns its index."""
+        """Wait for a free HPU; returns its index.
+
+        NOTE: ``SpinNIC._run_handler`` inlines this body (hot path, one
+        call per handler invocation) — keep the two in sync.
+        """
         self._waiting += 1
         try:
             hpu_id = yield self._free.get()

@@ -20,10 +20,12 @@ accounted in ``dropped_bytes``, and the completion handler sees
 
 from __future__ import annotations
 
+from types import GeneratorType
 from typing import Generator, Optional
 
 from repro.core.actions import HandlerContext
 from repro.core.costmodel import HandlerCostModel
+from repro.des.engine import Timeout
 from repro.core.handlers import HandlerError, HandlerSet, ReturnCode
 from repro.core.hpu import HPUPool
 from repro.machine.nic import BaselineNIC, _MessageRx
@@ -45,9 +47,10 @@ class SpinNIC(BaselineNIC):
         self.cost = cost_model or HandlerCostModel()
         self.handler_errors: list[tuple[str, ReturnCode]] = []
         self.flow_control_trips = 0
+        self._ph_name = f"ph[{self.rank}]"
 
     # -- header path -------------------------------------------------------
-    def _on_header_matched(self, state: _MessageRx, pkt: Packet) -> Generator:
+    def _header_hook(self, state: _MessageRx, pkt: Packet) -> Optional[Generator]:
         match = state.match
         msg = state.message
         if (
@@ -56,9 +59,14 @@ class SpinNIC(BaselineNIC):
             or match.entry.spin is None
             or msg.kind not in ("put", "atomic")
         ):
+            # No handler binding: plain deposit path, nothing timed to run.
             state.extra["mode"] = "baseline"
-            return
-        hs: HandlerSet = match.entry.spin
+            return None
+        return self._spin_header(state, pkt)
+
+    def _spin_header(self, state: _MessageRx, pkt: Packet) -> Generator:
+        msg = state.message
+        hs: HandlerSet = state.match.entry.spin
         hs.ensure_state()
         state.extra.update(
             hs=hs,
@@ -109,7 +117,16 @@ class SpinNIC(BaselineNIC):
         if mode == "drop":
             state.dropped_bytes += pkt.payload_len
             return
-        # mode == "process": payload handlers (packets without payload skip).
+        self._spin_payload(state, pkt)
+
+    def _spin_payload(self, state: _MessageRx, pkt: Packet) -> None:
+        """Dispatch one payload packet to the HPU pool (yield-free).
+
+        Flow-control checks and the handler-process spawn are synchronous,
+        which lets the fast RX chain call this inline; the generator path
+        reaches it through :meth:`_deliver_packet`.
+        """
+        # Packets without payload skip payload handlers.
         if pkt.payload_len == 0:
             state.bytes_seen += 0
             return
@@ -130,7 +147,7 @@ class SpinNIC(BaselineNIC):
             return
         state.bytes_seen += pkt.payload_len
         proc = self.env.process(
-            self._payload_proc(state, pkt), name=f"ph[{self.rank}]"
+            self._payload_proc(state, pkt), name=self._ph_name
         )
         state.extra["handler_events"].append(proc)
 
@@ -151,9 +168,11 @@ class SpinNIC(BaselineNIC):
         msg = state.message
         handler_events = state.extra.get("handler_events", [])
         if handler_events:
-            yield self.env.all_of(handler_events)
+            yield (handler_events[0] if len(handler_events) == 1
+                   else self.env.all_of(handler_events))
         if state.dma_events:
-            yield self.env.all_of(state.dma_events)
+            evs = state.dma_events
+            yield evs[0] if len(evs) == 1 else self.env.all_of(evs)
             state.dma_events = []
         self.messages_received += 1
 
@@ -178,14 +197,22 @@ class SpinNIC(BaselineNIC):
     def _run_handler(
         self, state: _MessageRx, label: str, fn, *args
     ) -> Generator[object, object, ReturnCode]:
-        hpu_id = yield from self.hpus.acquire()
+        # Inlined HPUPool.acquire (hot: one per handler invocation) — keep
+        # in sync with the helper.
+        hpus = self.hpus
+        hpus._waiting += 1
+        try:
+            hpu_id = yield hpus._free.get()
+        finally:
+            hpus._waiting -= 1
         ctx = HandlerContext(self, state.extra["hs"], state, hpu_id)
-        ctx.charge(self.cost.invoke_cycles)
-        start = self.env.now
+        cost = self.cost
+        ctx._cycles = cost.invoke_cycles
+        start = self.env._now
         try:
             result = fn(ctx, *args)
-            if hasattr(result, "send"):  # generator handler
-                code = yield from result
+            if type(result) is GeneratorType or hasattr(result, "send"):
+                code = yield from result  # generator handler
             else:
                 code = result
             if code is None:
@@ -196,8 +223,12 @@ class SpinNIC(BaselineNIC):
                 )
         except HandlerError:
             code = ReturnCode.SEGV
-        ctx.charge(self.cost.return_cycles)
-        yield from ctx.elapse()
+        ctx.charge(cost.return_cycles)
+        # Inlined ctx.elapse().
+        cycles, ctx._cycles = ctx._cycles, 0
+        if cycles:
+            ctx.total_cycles += cycles
+            yield Timeout(self.env, self.params.hpu_cycles_to_ps(cycles))
 
         if self.cost.enforce_cycle_budget and not code.is_error:
             budget = self.cost.budget_for(

@@ -14,7 +14,8 @@ and :func:`ps_to_ns` / :func:`ps_to_us` to convert results back for reporting.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
+from types import GeneratorType
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -37,6 +38,22 @@ __all__ = [
 #: rarely needs anything but NORMAL.
 PRIORITY_URGENT = 0
 PRIORITY_NORMAL = 1
+
+
+def env_flag(name: str, default: bool = True) -> bool:
+    """Parse an on/off environment switch.
+
+    ``0``/``false``/``no``/``off`` and the empty string disable (any case);
+    everything else enables.  Shared by the fast-path toggles
+    (``REPRO_FABRIC_FAST_PATH``, ``REPRO_NIC_FAST_RX``) so every switch
+    accepts the same spellings.
+    """
+    import os
+
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return value.strip().lower() not in ("0", "false", "no", "off", "")
 
 
 def ns(value: float) -> int:
@@ -123,11 +140,13 @@ class Event:
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with an optional payload."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, PRIORITY_NORMAL, 0)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, PRIORITY_NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -157,18 +176,43 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after a fixed delay."""
+    """An event that fires automatically after a fixed delay.
+
+    Construction is flattened to a single ``_schedule`` call (no chained
+    ``__init__``): timeouts are the kernel's hottest allocation.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: int, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, PRIORITY_NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, seq, self))
+
+
+class _Callback:
+    """A fire-and-forget queue entry: ``fn()`` runs at its scheduled time.
+
+    The no-allocation alternative to a Timeout-plus-callback: no Event, no
+    callbacks list, no value plumbing.  Created by
+    :meth:`Environment.schedule_callback`; ``cancel()`` turns the entry
+    into a no-op (it stays in the heap and is skipped when popped).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+
+    def cancel(self) -> None:
+        self.fn = None
 
 
 class Initialize(Event):
@@ -177,11 +221,13 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        env._schedule(self, PRIORITY_URGENT, 0)
+        self._ok = True
+        self._defused = False
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, PRIORITY_URGENT, seq, self))
 
 
 class Process(Event):
@@ -199,14 +245,31 @@ class Process(Event):
         env: "Environment",
         generator: Generator[Any, Any, Any],
         name: Optional[str] = None,
+        _inline: bool = False,
     ):
-        if not hasattr(generator, "send"):
+        if type(generator) is not GeneratorType and not hasattr(generator, "send"):
             raise SimulationError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        Initialize(env, self)
+        if _inline:
+            # Advance the body synchronously, as if it ran inline at the
+            # call site (used by fast paths handing work back to generator
+            # code mid-callback without an Initialize round-trip).
+            boot = Event.__new__(Event)
+            boot.env = env
+            boot.callbacks = None
+            boot._value = None
+            boot._ok = True
+            boot._defused = False
+            self._resume(boot)
+        else:
+            Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
@@ -233,12 +296,13 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Advance the generator with the fired event's outcome."""
         env = self.env
-        if self._target is not None and self._target is not event:
+        target = self._target
+        if target is not None and target is not event:
             # We were interrupted while waiting for _target; detach so the
             # stale wakeup does not resume us twice.
-            if self._target.callbacks is not None:
+            if target.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume)
                 except ValueError:
                     pass
         self._target = None
@@ -253,7 +317,8 @@ class Process(Event):
             env._active_process = None
             self._ok = True
             self._value = stop.value
-            env._schedule(self, PRIORITY_NORMAL, 0)
+            env._seq = seq = env._seq + 1
+            heappush(env._queue, (env._now, PRIORITY_NORMAL, seq, self))
             return
         except BaseException as exc:
             env._active_process = None
@@ -264,19 +329,20 @@ class Process(Event):
             return
         env._active_process = None
 
-        if not isinstance(result, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded non-event {result!r}"
-            )
-        if result.callbacks is None:
+        callbacks = result.callbacks if isinstance(result, Event) else None
+        if callbacks is not None:
+            callbacks.append(self._resume)
+            self._target = result
+        elif isinstance(result, Event):
             # Already processed: resume immediately at the current time.
             immediate = Event(env)
             immediate.callbacks.append(self._resume)
             immediate.trigger(result)
             self._target = immediate
         else:
-            result.callbacks.append(self._resume)
-            self._target = result
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {result!r}"
+            )
 
 
 class _Condition(Event):
@@ -341,6 +407,12 @@ class AnyOf(_Condition):
         self.succeed(self._collect())
 
 
+#: Optional instrumentation sink (see :mod:`repro.perf.meter`): when set,
+#: every new Environment registers itself so perf harnesses can read kernel
+#: event counts after a run without threading the env through every API.
+_METER = None
+
+
 class Environment:
     """The simulation clock and event queue."""
 
@@ -349,6 +421,13 @@ class Environment:
         self._queue: list[tuple[int, int, int, Event]] = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
+        if _METER is not None:
+            _METER.register(self)
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total kernel events pushed onto the queue so far (perf metric)."""
+        return self._seq
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -385,6 +464,20 @@ class Environment:
         """Register a generator as a simulated process."""
         return Process(self, generator, name)
 
+    def process_inline(
+        self, generator: Generator[Any, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Register a process whose body starts *now*, inside this callback.
+
+        Unlike :meth:`process` (which schedules an URGENT initialize event,
+        starting the body after the current callback stack unwinds), the
+        generator runs immediately up to its first yield — the event-order
+        equivalent of having inlined its body at the call site.  Fast paths
+        use this to hand mid-pipeline work back to generator code without
+        perturbing the kernel event sequence.
+        """
+        return Process(self, generator, name, _inline=True)
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
@@ -393,8 +486,28 @@ class Environment:
 
     # -- scheduling & stepping --------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, priority, seq, event))
+
+    def schedule_callback(
+        self,
+        delay: int,
+        fn: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> _Callback:
+        """Fire-and-forget: run ``fn()`` ``delay`` picoseconds from now.
+
+        The lightweight alternative to ``Timeout`` + callback for code that
+        only needs deferred execution — no Event allocation, no value, no
+        waiters.  Returns a handle whose ``cancel()`` makes the entry a
+        no-op.  Exceptions raised by ``fn`` propagate out of ``step()``.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative callback delay {delay}")
+        entry = _Callback(fn)
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, priority, seq, entry))
+        return entry
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next scheduled event, or None if queue is empty."""
@@ -402,12 +515,18 @@ class Environment:
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heappop(queue)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
+        if event.__class__ is _Callback:
+            fn = event.fn
+            if fn is not None:
+                fn()
+            return
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -422,18 +541,44 @@ class Environment:
         :class:`Event`; in the latter case :meth:`run` returns the event's
         value when it fires.
         """
+        queue = self._queue
         if until is None:
-            while self._queue:
-                self.step()
+            # Inlined step loop: the per-event dispatch is the simulator's
+            # innermost hot path (validated delays make the past-check of
+            # step() redundant here).
+            while queue:
+                when, _prio, _seq, event = heappop(queue)
+                self._now = when
+                if event.__class__ is _Callback:
+                    fn = event.fn
+                    if fn is not None:
+                        fn()
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             return None
         if isinstance(until, Event):
             sentinel = until
             if sentinel.callbacks is None:
                 return sentinel.value
             done = []
-            sentinel.callbacks.append(lambda e: done.append(e))
-            while self._queue and not done:
-                self.step()
+            sentinel.callbacks.append(done.append)
+            while queue and not done:
+                when, _prio, _seq, event = heappop(queue)
+                self._now = when
+                if event.__class__ is _Callback:
+                    fn = event.fn
+                    if fn is not None:
+                        fn()
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             if not done:
                 raise SimulationError(
                     "simulation ran out of events before the awaited event fired"
@@ -444,7 +589,8 @@ class Environment:
         horizon = int(until)
         if horizon < self._now:
             raise SimulationError("cannot run() into the past")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        step = self.step
+        while queue and queue[0][0] <= horizon:
+            step()
         self._now = horizon
         return None

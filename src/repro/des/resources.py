@@ -16,9 +16,16 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Generator, Optional
 
-from repro.des.engine import Environment, Event, SimulationError
+from repro.des.engine import (
+    PRIORITY_URGENT,
+    Environment,
+    Event,
+    SimulationError,
+    Timeout,
+    _PENDING,
+)
 
-__all__ = ["RateLimiter", "Resource", "Server", "Store"]
+__all__ = ["RateLimiter", "Resource", "ServeChain", "Server", "Store"]
 
 
 class Request(Event):
@@ -27,7 +34,11 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        self.env = resource.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
 
 
@@ -69,7 +80,7 @@ class Resource:
             self._waiting.append(req)
         return req
 
-    def release(self, req: Request) -> None:
+    def release(self, req) -> None:
         if req not in self._users:
             raise SimulationError("releasing a request that does not hold the resource")
         self._users.remove(req)
@@ -118,11 +129,24 @@ class Server:
         req = self._resource.request()
         yield req
         try:
-            yield self.env.timeout(duration)
+            yield Timeout(self.env, duration)
             self.busy_time += duration
             self.jobs_served += 1
         finally:
             self._resource.release(req)
+
+    def release(self, req) -> None:
+        """Release a raw :meth:`request`, granting any queued waiter."""
+        self._resource.release(req)
+
+    def request(self):
+        """Issue a raw FIFO request on the underlying resource.
+
+        Fast-path callback chains use the raw request/release pair (with
+        their own service accounting) instead of the :meth:`serve`
+        generator; both produce identical kernel event sequences.
+        """
+        return self._resource.request()
 
     @property
     def queue_length(self) -> int:
@@ -134,6 +158,46 @@ class Server:
         if elapsed <= 0:
             return 0.0
         return self.busy_time / elapsed
+
+
+class ServeChain:
+    """Callback mirror of ``env.process(server.serve(duration))``.
+
+    Push-structure preserving: pseudo-initialize (URGENT), the server's
+    real FIFO request/grant event, and a fire-and-forget callback at the
+    serve-timeout position — no process, no generator.  Used by fast paths
+    for fire-and-forget port occupancy (e.g. background DMA staging).
+    ``then``, when given, runs right after the service accounting, at the
+    position generator code following the serve would run.
+    """
+
+    __slots__ = ("server", "duration", "req", "then")
+
+    def __init__(self, server: Server, duration: int,
+                 then: Optional[Any] = None):
+        if duration < 0:
+            raise SimulationError(f"negative service duration {duration}")
+        self.server = server
+        self.duration = duration
+        self.req = None
+        self.then = then
+        server.env.schedule_callback(0, self._begin, PRIORITY_URGENT)
+
+    def _begin(self) -> None:
+        self.req = req = self.server._resource.request()
+        req.callbacks.append(self._granted)
+
+    def _granted(self, _event: Event) -> None:
+        self.server.env.schedule_callback(self.duration, self._done)
+
+    def _done(self) -> None:
+        server = self.server
+        server.busy_time += self.duration
+        server.jobs_served += 1
+        server._resource.release(self.req)
+        self.req = None
+        if self.then is not None:
+            self.then()
 
 
 class Store:
@@ -184,11 +248,18 @@ class RateLimiter:
         self.gap = gap
         self._next_free: int = 0
 
-    def wait_turn(self) -> Event:
-        now = self.env.now
-        grant_at = max(now, self._next_free)
+    def claim(self) -> int:
+        """Synchronously take the next grant slot; returns its absolute time.
+
+        The event-free core of :meth:`wait_turn`: fast paths call this and
+        schedule their own continuation at the returned time.
+        """
+        grant_at = max(self.env._now, self._next_free)
         self._next_free = grant_at + self.gap
-        return self.env.timeout(grant_at - now)
+        return grant_at
+
+    def wait_turn(self) -> Event:
+        return self.env.timeout(self.claim() - self.env._now)
 
     @property
     def next_free(self) -> int:

@@ -15,7 +15,7 @@ from typing import Iterable, Optional
 __all__ = ["Span", "Timeline", "render_timeline"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """A half-open busy interval [start, end) on one lane of one rank."""
 
@@ -36,14 +36,57 @@ class Span:
 
 @dataclass
 class Timeline:
-    """Collects spans; cheap to disable (``enabled=False`` drops everything)."""
+    """Collects spans; cheap to disable (``enabled=False`` drops everything).
+
+    Per-lane busy totals and the global extent are maintained incrementally
+    on :meth:`record`, so :meth:`busy_time` and :meth:`extent` are O(1) —
+    they were profiled hot (full rescans of ``spans``) in trace-enabled SPC
+    runs.  Out-of-band edits to ``spans`` are detected by *length change
+    only*: appends/removals trigger a rebuild on the next read, but a
+    same-length in-place replacement is invisible — call :meth:`_retally`
+    after such edits (``canonical_bytes``/``digest`` read the list directly
+    and are always exact).
+    """
 
     enabled: bool = True
     spans: list[Span] = field(default_factory=list)
+    _busy: dict = field(default_factory=dict, repr=False, compare=False)
+    _t0: int = field(default=0, repr=False, compare=False)
+    _t1: int = field(default=0, repr=False, compare=False)
+    _tallied: int = field(default=0, repr=False, compare=False)
 
     def record(self, rank: int, lane: str, start: int, end: int, label: str = "") -> None:
-        if self.enabled:
-            self.spans.append(Span(rank, lane, start, end, label))
+        if not self.enabled:
+            return
+        if self._tallied != len(self.spans):
+            self._retally()
+        self.spans.append(Span(rank, lane, start, end, label))
+        self._tally(rank, lane, start, end)
+
+    def _tally(self, rank: int, lane: str, start: int, end: int) -> None:
+        key = (rank, lane)
+        busy = self._busy
+        busy[key] = busy.get(key, 0) + (end - start)
+        if self._tallied == 0:
+            self._t0, self._t1 = start, end
+        else:
+            if start < self._t0:
+                self._t0 = start
+            if end > self._t1:
+                self._t1 = end
+        self._tallied += 1
+
+    def _retally(self) -> None:
+        """Rebuild the incremental totals after out-of-band span edits.
+
+        Rebuilds in place — ``self.spans`` is never rebound, so external
+        aliases to the list stay live.
+        """
+        self._busy = {}
+        self._tallied = 0
+        self._t0 = self._t1 = 0
+        for s in self.spans:
+            self._tally(s.rank, s.lane, s.start, s.end)
 
     def lanes(self, rank: Optional[int] = None) -> list[tuple[int, str]]:
         """Distinct (rank, lane) pairs in first-appearance order."""
@@ -55,13 +98,17 @@ class Timeline:
 
     def busy_time(self, rank: int, lane: str) -> int:
         """Total busy picoseconds on a lane (spans assumed non-overlapping)."""
-        return sum(s.duration for s in self.spans if s.rank == rank and s.lane == lane)
+        if self._tallied != len(self.spans):
+            self._retally()
+        return self._busy.get((rank, lane), 0)
 
     def extent(self) -> tuple[int, int]:
         """(min start, max end) over all spans; (0, 0) if empty."""
         if not self.spans:
             return (0, 0)
-        return (min(s.start for s in self.spans), max(s.end for s in self.spans))
+        if self._tallied != len(self.spans):
+            self._retally()
+        return (self._t0, self._t1)
 
     def canonical_bytes(self) -> bytes:
         """Byte-exact encoding of the recorded spans, in recording order.

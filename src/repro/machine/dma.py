@@ -87,15 +87,14 @@ class DMAEngine:
         yield from self.mem_port.serve(self._bw_ps(nbytes))
         self.bytes_written += nbytes
         self.timeline.record(self.rank, "DMA", start, self.env.now, label)
-        done = self.env.timeout(self.latency_ps)
         completed = self.env.event()
 
-        def land(_ev) -> None:
+        def land() -> None:
             if self.memory is not None and data is not None and nbytes:
                 self.memory.write(offset, data)
             completed.succeed(self.env.now)
 
-        done.callbacks.append(land)
+        self.env.schedule_callback(self.latency_ps, land)
         return completed
 
     def write_blocking(self, offset: int, data, nbytes: Optional[int] = None,

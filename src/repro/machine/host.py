@@ -14,7 +14,7 @@ from typing import Any, Generator, Optional
 
 import numpy as np
 
-from repro.des.engine import Environment
+from repro.des.engine import Environment, Timeout
 from repro.des.resources import Resource, Server
 from repro.des.trace import Timeline
 from repro.machine.config import HostParams
@@ -94,16 +94,19 @@ class HostCPU:
     # -- primitive: timed work on a core ----------------------------------
     def run(self, work_ps: int, label: str = "work") -> Generator:
         """Occupy one core for ``work_ps`` (inflated by noise)."""
+        env = self.env
         req = self.cores.request()
         yield req
-        start = self.env.now
+        start = env._now
         finish = self.noise.finish(start, work_ps)
         try:
-            yield self.env.timeout(finish - start)
+            yield Timeout(env, finish - start)
         finally:
             self.cores.release(req)
-        self.busy_ps += self.env.now - start
-        self.timeline.record(self.rank, "CPU", start, self.env.now, label)
+        now = env._now
+        self.busy_ps += now - start
+        if self.timeline.enabled:
+            self.timeline.record(self.rank, "CPU", start, now, label)
 
     def compute_cycles(self, cycles: float, label: str = "compute") -> Generator:
         """Occupy one core for an instruction count (IPC-adjusted)."""

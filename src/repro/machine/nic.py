@@ -19,14 +19,18 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from repro.des.engine import Environment, Event
-from repro.des.resources import Server
+from repro.des.engine import PRIORITY_URGENT, Environment, Event, env_flag
+from repro.des.resources import ServeChain, Server
 from repro.network.packets import Message, Packet
 from repro.portals.events import PortalsEvent
 from repro.portals.matching import MatchResult
 from repro.portals.types import EventKind
 
 __all__ = ["BaselineNIC"]
+
+
+def _fast_rx_default() -> bool:
+    return env_flag("REPRO_NIC_FAST_RX")
 
 
 class _MessageRx:
@@ -58,6 +62,230 @@ class _MessageRx:
         return self.bytes_seen + self.dropped_bytes >= self.message.length
 
 
+class _RxChain:
+    """Callback-driven receive pipeline for one non-header packet.
+
+    Push-structure mirror of ``_rx_packet``'s generator path: the pseudo
+    URGENT begin stands in for the process initialize, the match-unit and
+    memory-port requests are the same FIFO Request events the generator
+    would issue, and the service completions are fire-and-forget callbacks
+    at the positions of the generator's serve timeouts.  Deposits for
+    baseline-mode put/atomic/reply packets run inline; anything needing
+    model logic beyond the plain deposit (sPIN handler modes) is handed
+    back to the generator tail via ``process_inline``, which preserves the
+    event order exactly.
+
+    Subclasses of :class:`BaselineNIC` that change ``_deliver_packet``
+    semantics for *baseline-mode* packets must set ``fast_rx = False``.
+    """
+
+    __slots__ = ("nic", "pkt", "state", "req", "t0", "bw", "offset", "nbytes",
+                 "data", "reply")
+
+    def __init__(self, nic: "BaselineNIC", pkt: Packet):
+        self.nic = nic
+        self.pkt = pkt
+        self.state: Optional[_MessageRx] = None
+        self.req = None
+        self.t0 = 0
+        self.bw = 0
+        self.offset = 0
+        self.nbytes = 0
+        self.data = None
+        self.reply = False
+
+    def _begin(self) -> None:
+        """Mirrors the rx process initialize: issue the match-unit lookup."""
+        nic = self.nic
+        self.t0 = nic.env._now
+        self.req = req = nic.match_unit.request()
+        req.callbacks.append(self._match_granted)
+
+    def _match_granted(self, _event: Event) -> None:
+        nic = self.nic
+        params = nic.params
+        dur = params.header_match_ps if self.pkt.is_header else params.cam_lookup_ps
+        nic.env.schedule_callback(dur, self._match_done)
+
+    def _match_done(self) -> None:
+        """Match-unit service done: account, release, dispatch the deposit."""
+        nic = self.nic
+        env = nic.env
+        now = env._now
+        pkt = self.pkt
+        msg = pkt.message
+        mu = nic.match_unit
+        params = nic.params
+        is_header = pkt.is_header
+        dur = params.header_match_ps if is_header else params.cam_lookup_ps
+        mu.busy_time += dur
+        mu.jobs_served += 1
+        mu.release(self.req)
+        self.req = None
+        nic.timeline.record(
+            nic.rank, "NIC", self.t0, now, "match" if is_header else "cam"
+        )
+        if is_header:
+            match = nic._match_message(msg)
+            self.state = state = _MessageRx(msg, match)
+            nic._rx[msg.msg_id] = state
+            hook = nic._header_hook(state, pkt)
+            if hook is not None:
+                # Header handlers (sPIN): generator path, inline.
+                env.process_inline(
+                    nic._hook_tail(hook, state, pkt), name=nic._rx_name
+                )
+                return
+        else:
+            self.state = state = nic._rx[msg.msg_id]
+            mode = state.extra.get("mode", "baseline")
+            if mode == "process":
+                # sPIN payload handlers: the dispatch itself is yield-free
+                # (flow-control checks + HPU process spawn) — run it inline.
+                nic._spin_payload(state, pkt)
+                self._after_deposit()
+                return
+            if mode == "drop":
+                state.dropped_bytes += pkt.payload_len
+                self._after_deposit()
+                return
+            if mode == "undecided":
+                # Header handler still running: the generator path waits on
+                # its completion event.
+                env.process_inline(nic._rx_tail(state, pkt), name=nic._rx_name)
+                return
+            # "baseline" and "proceed" both take the plain deposit below.
+        if msg.kind in ("put", "atomic"):
+            if state.match is None or not state.match.matched:
+                state.dropped_bytes += pkt.payload_len
+                pt = nic._pt_for(msg)
+                if pt is not None:
+                    pt.record_drop(pkt.payload_len)
+                self._after_deposit()
+                return
+            entry = state.match.entry
+            offset = entry.start + state.match.deposit_offset + pkt.payload_offset
+            self.offset = offset if nic.machine.memory is not None else 0
+            self.reply = False
+        elif msg.kind == "reply":
+            md = nic.machine.ni.mds.get(msg.meta.get("md_id", -1))
+            base = (md.start if md else 0) + msg.meta.get("reply_offset", 0)
+            self.offset = base + pkt.payload_offset
+            self.reply = True
+        elif msg.kind in ("get", "ack"):
+            # Header-only kinds; mirrored for completeness.
+            state.bytes_seen += pkt.payload_len
+            self._after_deposit()
+            return
+        else:
+            raise ValueError(f"unknown message kind {msg.kind!r}")
+        # -- the DMA write toward host memory (mirrors DMAEngine.write) --
+        self.data = pkt.payload
+        self.nbytes = pkt.payload_len
+        dma = nic.machine.dma
+        self.t0 = now
+        self.bw = dma._bw_ps(self.nbytes)
+        self.req = req = dma.mem_port.request()
+        req.callbacks.append(self._mem_granted)
+
+    def _mem_granted(self, _event: Event) -> None:
+        self.nic.env.schedule_callback(self.bw, self._mem_done)
+
+    def _mem_done(self) -> None:
+        """Memory-port service done: durability callback + bookkeeping."""
+        nic = self.nic
+        env = nic.env
+        dma = nic.machine.dma
+        port = dma.mem_port
+        port.busy_time += self.bw
+        port.jobs_served += 1
+        port.release(self.req)
+        self.req = None
+        nbytes = self.nbytes
+        dma.bytes_written += nbytes
+        if dma.timeline.enabled:
+            msg_id = self.pkt.message.msg_id
+            label = f"rx-reply m{msg_id}" if self.reply else f"rx m{msg_id}"
+            dma.timeline.record(dma.rank, "DMA", self.t0, env._now, label)
+        completed = Event(env)
+        memory, offset, data = dma.memory, self.offset, self.data
+
+        def land() -> None:
+            if memory is not None and data is not None and nbytes:
+                memory.write(offset, data)
+            completed.succeed(env._now)
+
+        env.schedule_callback(dma.latency_ps, land)
+        state = self.state
+        state.dma_events.append(completed)
+        state.bytes_seen += nbytes
+        self._after_deposit()
+
+    def _after_deposit(self) -> None:
+        state = self.state
+        state.packets_seen += 1
+        if state.complete and not state.finished:
+            state.finished = True
+            nic = self.nic
+            nic.env.process_inline(nic._finish_tail(state), name=nic._rx_name)
+
+
+class _SendChain:
+    """Callback-driven host-send staging pipeline for one message.
+
+    Push-structure mirror of ``_send_now`` with ``from_host=True``: pseudo
+    initialize (URGENT), the DMA request latency, the memory-port fill of
+    the first packet (real FIFO request), the background staging of the
+    remaining bytes (:class:`ServeChain`), then the fabric injection.  The
+    ``done`` event fires at the position the wrapper process would have
+    completed, with the same value (the injection-finish time).
+    """
+
+    __slots__ = ("nic", "msg", "done", "bw", "req")
+
+    def __init__(self, nic: "BaselineNIC", msg: Message):
+        self.nic = nic
+        self.msg = msg
+        self.done = Event(nic.env)
+        self.bw = 0
+        self.req = None
+        nic.env.schedule_callback(0, self._begin, PRIORITY_URGENT)
+
+    def _begin(self) -> None:
+        nic = self.nic
+        nic.messages_sent += 1
+        nic.env.schedule_callback(nic.machine.dma.latency_ps, self._staged)
+
+    def _staged(self) -> None:
+        nic = self.nic
+        first = min(self.msg.length, nic.loggp.mtu)
+        dma = nic.machine.dma
+        self.bw = nic.params.dma_per_op_ps + round(first * dma.G_eff)
+        self.req = req = nic.machine.mem_port.request()
+        req.callbacks.append(self._granted)
+
+    def _granted(self, _event: Event) -> None:
+        self.nic.env.schedule_callback(self.bw, self._filled)
+
+    def _filled(self) -> None:
+        nic = self.nic
+        port = nic.machine.mem_port
+        port.busy_time += self.bw
+        port.jobs_served += 1
+        port.release(self.req)
+        self.req = None
+        rest = self.msg.length - min(self.msg.length, nic.loggp.mtu)
+        if rest > 0:
+            # Remaining bytes stream behind the wire; account their
+            # memory-port occupancy without blocking injection.
+            ServeChain(port, round(rest * nic.machine.dma.G_eff))
+        injected = nic.machine.fabric.inject(self.msg)
+        injected.callbacks.append(self._injected)
+
+    def _injected(self, _event: Event) -> None:
+        self.done.succeed(self.nic.env._now)
+
+
 class BaselineNIC:
     """An RDMA / Portals 4 NIC attached to one machine."""
 
@@ -71,17 +299,27 @@ class BaselineNIC:
         #: Serializes match-unit work; pipelined with packet arrivals.
         self.match_unit = Server(env, f"match[{self.rank}]")
         self._rx: dict[int, _MessageRx] = {}
+        self._rx_name = f"rx[{self.rank}]"
+        self._tx_name = f"tx[{self.rank}]"
+        #: Packets take the callback chain (:class:`_RxChain`) instead of a
+        #: generator process; structure-preserving, so traces are identical
+        #: — disable to force the generator path everywhere.
+        self.fast_rx = _fast_rx_default()
         self.messages_received = 0
         self.messages_sent = 0
 
     # ------------------------------------------------------------------ RX --
     def on_packet(self, pkt: Packet) -> None:
-        """Fabric delivery entry point (one process per packet)."""
-        self.env.process(self._rx_packet(pkt), name=f"rx[{self.rank}]")
+        """Fabric delivery entry point (one pipeline per packet)."""
+        if self.fast_rx:
+            self.env.schedule_callback(
+                0, _RxChain(self, pkt)._begin, PRIORITY_URGENT
+            )
+        else:
+            self.env.process(self._rx_packet(pkt), name=self._rx_name)
 
     def _rx_packet(self, pkt: Packet) -> Generator:
         msg = pkt.message
-        state = self._rx.get(msg.msg_id)
         if pkt.is_header:
             start = self.env.now
             yield from self.match_unit.serve(self.params.header_match_ps)
@@ -89,19 +327,36 @@ class BaselineNIC:
             match = self._match_message(msg)
             state = _MessageRx(msg, match)
             self._rx[msg.msg_id] = state
-            yield from self._on_header_matched(state, pkt)
+            hook = self._header_hook(state, pkt)
+            if hook is not None:
+                yield from hook
         else:
             start = self.env.now
             yield from self.match_unit.serve(self.params.cam_lookup_ps)
             self.timeline.record(self.rank, "NIC", start, self.env.now, "cam")
             state = self._rx[msg.msg_id]
 
+        yield from self._rx_tail(state, pkt)
+
+    def _rx_tail(self, state: _MessageRx, pkt: Packet) -> Generator:
+        """Everything after matching: deposit, bookkeeping, completion."""
         yield from self._deliver_packet(state, pkt)
         state.packets_seen += 1
         if state.complete and not state.finished:
             state.finished = True
             yield from self._finish_message(state)
-            del self._rx[msg.msg_id]
+            del self._rx[state.message.msg_id]
+
+    def _finish_tail(self, state: _MessageRx) -> Generator:
+        """Completion continuation for the fast RX chain."""
+        yield from self._finish_message(state)
+        del self._rx[state.message.msg_id]
+
+    def _hook_tail(self, hook: Generator, state: _MessageRx,
+                   pkt: Packet) -> Generator:
+        """Header-handler continuation for the fast RX chain."""
+        yield from hook
+        yield from self._rx_tail(state, pkt)
 
     def _match_message(self, msg: Message) -> Optional[MatchResult]:
         """Route the header through Portals matching (None for ack/reply)."""
@@ -120,10 +375,15 @@ class BaselineNIC:
             header_meta={"hdr_data": msg.hdr_data, "user_hdr": msg.user_hdr},
         )
 
-    def _on_header_matched(self, state: _MessageRx, pkt: Packet) -> Generator:
-        """Hook for subclasses (sPIN header handlers).  Default: nothing."""
-        return
-        yield  # pragma: no cover - makes this a generator
+    def _header_hook(self, state: _MessageRx,
+                     pkt: Packet) -> Optional[Generator]:
+        """Hook for subclasses (sPIN header handlers).
+
+        Called synchronously right after matching; return a generator to
+        run timed header work, or None when the message takes the plain
+        deposit path (which lets the fast RX chain stay inline).
+        """
+        return None
 
     # -- per-packet data movement ----------------------------------------
     def _deliver_packet(self, state: _MessageRx, pkt: Packet) -> Generator:
@@ -172,7 +432,9 @@ class BaselineNIC:
     def _finish_message(self, state: _MessageRx) -> Generator:
         msg = state.message
         if state.dma_events:
-            yield self.env.all_of(state.dma_events)
+            evs = state.dma_events
+            # A 1-element AllOf is just its event; skip the extra hop.
+            yield evs[0] if len(evs) == 1 else self.env.all_of(evs)
         self.messages_received += 1
         if msg.kind in ("put", "atomic"):
             yield from self._complete_put(state)
@@ -283,10 +545,16 @@ class BaselineNIC:
         ``from_host`` charges the source-side DMA staging (L + first-packet
         fill at the DMA rate) and streams the remaining bytes through the
         memory port in the background — NIC sends from device buffers
-        (sPIN put-from-device, ACKs, get replies) skip all of that.
+        (sPIN put-from-device, ACKs, get replies) skip all of that and hand
+        the message straight to the fabric, no wrapper process needed.
         """
+        if not from_host or msg.length == 0:
+            self.messages_sent += 1
+            return self.machine.fabric.inject(msg)
+        if self.fast_rx:  # one switch governs both NIC fast paths
+            return _SendChain(self, msg).done
         return self.env.process(
-            self._send_now(msg, from_host), name=f"tx[{self.rank}]"
+            self._send_now(msg, from_host), name=self._tx_name
         )
 
     def _send_now(self, msg: Message, from_host: bool) -> Generator:
@@ -303,7 +571,7 @@ class BaselineNIC:
                 # memory-port occupancy without blocking injection.
                 self.env.process(
                     self.machine.mem_port.serve(round(rest * self.machine.dma.G_eff)),
-                    name=f"dma-stage[{self.rank}]",
+                    name=self._tx_name,
                 )
         done = self.machine.fabric.inject(msg)
         yield done

@@ -12,19 +12,124 @@ The fabric performs no congestion modelling inside the switches — the paper
 assumes a full-bisection fat tree and LogGP likewise concentrates contention
 at the endpoints.  Receiver-side costs (matching, DMA, handlers) belong to
 the NIC models, not the fabric.
+
+Fast path
+---------
+Simulating millions of per-packet events makes TX serialization the kernel's
+hottest pipeline, so messages are transmitted by a callback-driven chain
+(:class:`_TxChain`) instead of a generator process.  The chain is
+**push-structure preserving**: it schedules exactly the kernel events the
+generator path would — the same wire-request grant events (real FIFO
+``Request``s on the wire server, so any number of concurrent messages at one
+NIC interleave packet-by-packet precisely as queued generators would), and
+fire-and-forget callbacks at the positions of the generator's timeouts.
+Traces are byte-for-byte identical (same ``Timeline.canonical_bytes()``,
+same interleaving under timestamp ties) — the golden-trace and
+chain-vs-generator equivalence tests enforce this.  What the chain
+eliminates is the per-packet cost: generator resumption, Event/Timeout
+allocation, and process bookkeeping.
+
+Set ``fast_path=False`` (or ``REPRO_FABRIC_FAST_PATH=0``) to force the
+generator path everywhere.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Optional
 
-from repro.des.engine import Environment, Event
+from repro.des.engine import PRIORITY_URGENT, Environment, Event, env_flag
 from repro.des.resources import RateLimiter, Server
 from repro.des.trace import Timeline
 from repro.network.loggp import NetworkParams
 from repro.network.packets import Message, Packet, packetize
 
 __all__ = ["Fabric"]
+
+
+def _fast_path_default() -> bool:
+    return env_flag("REPRO_FABRIC_FAST_PATH")
+
+
+class _TxChain:
+    """Callback-driven TX pipeline for one message.
+
+    Stage chain, each stage mirroring one kernel event of the generator
+    path (noted in brackets):
+
+    ``_start`` [process initialize] → ``_turn`` [wait_turn timeout] →
+    per packet: wire request → ``_granted`` [request grant] →
+    ``_serve_done`` [serve timeout] → delivery callback; the last boundary
+    triggers the done event [process-end event].
+    """
+
+    __slots__ = ("fabric", "message", "packets", "idx", "latency", "src",
+                 "req", "done", "wire", "loggp", "pkt_start", "cur_dur")
+
+    def __init__(self, fabric: "Fabric", message: Message):
+        self.fabric = fabric
+        self.message = message
+        self.loggp = fabric.params.loggp
+        self.packets = packetize(message, self.loggp.mtu)
+        self.idx = 0
+        self.latency = 0
+        self.src = message.source
+        self.req = None
+        self.done = Event(fabric.env)
+        self.wire = fabric._wire[message.source]
+        self.pkt_start = 0
+        self.cur_dur = 0
+
+    def _start(self) -> None:
+        """At inject time (URGENT): claim the g slot, like the process body."""
+        fabric = self.fabric
+        env = fabric.env
+        fabric.messages_injected += 1
+        grant_at = fabric._msg_limiter[self.src].claim()
+        self.latency = fabric.topology.latency_ps(self.src, self.message.target)
+        env.schedule_callback(grant_at - env._now, self._turn)
+
+    def _turn(self) -> None:
+        """g slot reached: join the wire FIFO for the first packet."""
+        self._request()
+
+    def _request(self) -> None:
+        """Issue the wire request for packet ``idx`` (span includes wait)."""
+        self.pkt_start = self.fabric.env._now
+        self.cur_dur = self.loggp.serialization_ps(self.packets[self.idx].wire_bytes)
+        self.req = req = self.wire.request()
+        req.callbacks.append(self._granted)
+
+    def _granted(self, _event: Event) -> None:
+        self.fabric.env.schedule_callback(self.cur_dur, self._serve_done)
+
+    def _serve_done(self) -> None:
+        """One packet finished serializing (mirrors the serve timeout)."""
+        fabric = self.fabric
+        env = fabric.env
+        now = env._now
+        wire = self.wire
+        idx = self.idx
+        pkt = self.packets[idx]
+        # Accounting before release, span/delivery after, next request last
+        # — exactly the order Server.serve and the generator interleave
+        # them, so queued contenders are granted at identical positions.
+        wire.busy_time += self.cur_dur
+        wire.jobs_served += 1
+        wire.release(self.req)
+        self.req = None
+        timeline = fabric.timeline
+        if timeline.enabled:
+            timeline.record(
+                self.src, "NIC-tx", self.pkt_start, now,
+                f"m{self.message.msg_id}p{pkt.seq}",
+            )
+        env.schedule_callback(self.latency, partial(fabric._deliver, pkt))
+        self.idx = idx = idx + 1
+        if idx == len(self.packets):
+            self.done.succeed(now)
+        else:
+            self._request()
 
 
 class Fabric:
@@ -36,11 +141,13 @@ class Fabric:
         topology,
         params: Optional[NetworkParams] = None,
         timeline: Optional[Timeline] = None,
+        fast_path: Optional[bool] = None,
     ):
         self.env = env
         self.topology = topology
         self.params = params or NetworkParams()
         self.timeline = timeline or Timeline(enabled=False)
+        self.fast_path = _fast_path_default() if fast_path is None else fast_path
         self._rx: dict[int, Callable[[Packet], None]] = {}
         self._msg_limiter: dict[int, RateLimiter] = {}
         self._wire: dict[int, Server] = {}
@@ -57,8 +164,15 @@ class Fabric:
         self._wire[nid] = Server(self.env, name=f"wire[{nid}]")
 
     def detach(self, nid: int) -> None:
-        """Remove a node (used by failure injection)."""
+        """Remove a node (used by failure injection).
+
+        Drops *all* of the node's fabric state — rx entry point, message
+        rate limiter, wire server — so repeated attach/detach cycles cannot
+        leak resources.
+        """
         self._rx.pop(nid, None)
+        self._msg_limiter.pop(nid, None)
+        self._wire.pop(nid, None)
 
     # -- transmission ----------------------------------------------------------
     def inject(self, message: Message) -> Event:
@@ -69,41 +183,45 @@ class Fabric:
         receive side learns about the message through its rx callback,
         packet by packet.
         """
-        if message.source not in self._msg_limiter:
-            raise ValueError(f"source node {message.source} not attached")
+        src = message.source
+        if src not in self._msg_limiter:
+            raise ValueError(f"source node {src} not attached")
+        if self.fast_path:
+            chain = _TxChain(self, message)
+            self.env.schedule_callback(0, chain._start, PRIORITY_URGENT)
+            return chain.done
         return self.env.process(
-            self._send_proc(message), name=f"tx[{message.source}->{message.target}]"
+            self._send_proc(message), name=f"tx[{src}->{message.target}]"
         )
 
     def _send_proc(self, message: Message):
         loggp = self.params.loggp
-        src, dst = message.source, message.target
+        src = message.source
         packets = packetize(message, loggp.mtu)
         self.messages_injected += 1
         # g: minimum spacing between message starts at this NIC.
         yield self._msg_limiter[src].wait_turn()
-        latency = self.topology.latency_ps(src, dst)
+        latency = self.topology.latency_ps(src, message.target)
+        env = self.env
         wire = self._wire[src]
+        timeline = self.timeline
         for pkt in packets:
-            start = self.env.now
+            start = env._now
             yield from wire.serve(loggp.serialization_ps(pkt.wire_bytes))
-            self.timeline.record(
-                src, "NIC-tx", start, self.env.now, f"m{message.msg_id}p{pkt.seq}"
-            )
-            self._schedule_delivery(pkt, latency)
-        return self.env.now
+            if timeline.enabled:
+                timeline.record(
+                    src, "NIC-tx", start, env._now,
+                    f"m{message.msg_id}p{pkt.seq}",
+                )
+            env.schedule_callback(latency, partial(self._deliver, pkt))
+        return env.now
 
-    def _schedule_delivery(self, pkt: Packet, latency: int) -> None:
-        arrival = self.env.timeout(latency)
-
-        def deliver(_event: Event, pkt: Packet = pkt) -> None:
-            rx = self._rx.get(pkt.message.target)
-            if rx is None:
-                return  # destination detached (failed node): packet lost
-            self.packets_delivered += 1
-            rx(pkt)
-
-        arrival.callbacks.append(deliver)
+    def _deliver(self, pkt: Packet) -> None:
+        rx = self._rx.get(pkt.message.target)
+        if rx is None:
+            return  # destination detached (failed node): packet lost
+        self.packets_delivered += 1
+        rx(pkt)
 
     # -- introspection ---------------------------------------------------------
     def tx_busy_ps(self, nid: int) -> int:

@@ -44,7 +44,7 @@ def reset_msg_ids() -> None:
     _msg_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A network transaction (put/get/atomic/ack/...).
 
@@ -83,7 +83,7 @@ class Message:
         return cls(source=source, target=target, length=int(arr.size), payload=arr, **kw)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One MTU-sized piece of a message.
 

@@ -11,7 +11,7 @@ from repro.portals.types import EventKind, PortalsError
 __all__ = ["EventQueue", "PortalsEvent"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PortalsEvent:
     """One entry in an event queue.
 

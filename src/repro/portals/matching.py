@@ -97,7 +97,7 @@ class MatchEntry:
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class MatchResult:
     """Outcome of presenting a message header to a match list."""
 

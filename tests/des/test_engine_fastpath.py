@@ -1,0 +1,123 @@
+"""Kernel fast-path primitives: schedule_callback and process_inline."""
+
+import pytest
+
+from repro.des.engine import (
+    PRIORITY_URGENT,
+    Environment,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestScheduleCallback:
+    def test_fires_at_delay(self):
+        env = Environment()
+        fired = []
+        env.schedule_callback(500, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [500]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule_callback(-1, lambda: None)
+
+    def test_cancel_makes_noop(self):
+        env = Environment()
+        fired = []
+        handle = env.schedule_callback(100, lambda: fired.append(1))
+        handle.cancel()
+        env.run()
+        assert fired == []
+
+    def test_ordering_matches_timeouts(self):
+        """Callbacks interleave with Timeouts by (time, priority, seq)."""
+        env = Environment()
+        order = []
+        Timeout(env, 100).callbacks.append(lambda e: order.append("t100"))
+        env.schedule_callback(100, lambda: order.append("c100"))
+        env.schedule_callback(100, lambda: order.append("u100"), PRIORITY_URGENT)
+        Timeout(env, 50).callbacks.append(lambda e: order.append("t50"))
+        env.run()
+        assert order == ["t50", "u100", "t100", "c100"]
+
+    def test_counts_as_kernel_event(self):
+        env = Environment()
+        before = env.events_scheduled
+        env.schedule_callback(0, lambda: None)
+        assert env.events_scheduled == before + 1
+
+    def test_exception_propagates_from_run(self):
+        env = Environment()
+
+        def boom():
+            raise ValueError("boom")
+
+        env.schedule_callback(10, boom)
+        with pytest.raises(ValueError):
+            env.run()
+
+
+class TestProcessInline:
+    def test_body_runs_immediately(self):
+        env = Environment()
+        steps = []
+
+        def body():
+            steps.append("started")
+            yield env.timeout(100)
+            steps.append("resumed")
+
+        env.process_inline(body())
+        steps.append("after-create")  # body already ran to its first yield
+        env.run()
+        assert steps == ["started", "after-create", "resumed"]
+
+    def test_regular_process_defers_body(self):
+        env = Environment()
+        steps = []
+
+        def body():
+            steps.append("started")
+            yield env.timeout(100)
+
+        env.process(body())
+        steps.append("after-create")
+        env.run()
+        assert steps == ["after-create", "started"]
+
+    def test_inline_process_value(self):
+        env = Environment()
+
+        def body():
+            yield env.timeout(7)
+            return 42
+
+        proc = env.process_inline(body())
+        assert env.run(until=proc) == 42
+
+    def test_inline_process_exception_surfaces(self):
+        env = Environment()
+
+        def body():
+            yield env.timeout(1)
+            raise RuntimeError("inline boom")
+
+        env.process_inline(body())
+        with pytest.raises(RuntimeError):
+            env.run()
+
+    def test_yieldless_inline_body_completes(self):
+        env = Environment()
+        ran = []
+
+        def body():
+            ran.append(True)
+            return "done"
+            yield  # pragma: no cover
+
+        proc = env.process_inline(body())
+        assert ran == [True]
+        env.run()
+        assert proc.value == "done"

@@ -70,3 +70,41 @@ class TestRender:
         tl.record(0, "CPU", 0, 100)
         out = render_timeline(tl, width=10)
         assert "#" in out
+
+
+class TestIncrementalTotals:
+    """busy_time/extent are O(1) via per-lane tallies kept on record()."""
+
+    def test_busy_time_matches_rescan(self):
+        tl = Timeline()
+        tl.record(0, "CPU", 0, 10)
+        tl.record(0, "CPU", 20, 50)
+        tl.record(1, "CPU", 5, 9)
+        tl.record(0, "NIC", 2, 4)
+        assert tl.busy_time(0, "CPU") == 40
+        assert tl.busy_time(1, "CPU") == 4
+        assert tl.busy_time(0, "NIC") == 2
+        assert tl.busy_time(9, "DMA") == 0
+
+    def test_extent_tracks_min_max(self):
+        tl = Timeline()
+        assert tl.extent() == (0, 0)
+        tl.record(0, "CPU", 100, 200)
+        tl.record(1, "NIC", 50, 120)
+        tl.record(0, "DMA", 180, 400)
+        assert tl.extent() == (50, 400)
+
+    def test_out_of_band_span_edits_retally(self):
+        from repro.des.trace import Span
+
+        tl = Timeline()
+        tl.record(0, "CPU", 0, 10)
+        # Tests (and tools) may append spans directly; totals must rebuild.
+        tl.spans.append(Span(0, "CPU", 20, 25))
+        assert tl.busy_time(0, "CPU") == 15
+        tl.spans.append(Span(2, "HPU0", 1, 3))
+        assert tl.extent() == (0, 25)
+        assert tl.busy_time(2, "HPU0") == 2
+        # And recording again after direct edits stays consistent.
+        tl.record(0, "CPU", 30, 34)
+        assert tl.busy_time(0, "CPU") == 19

@@ -142,3 +142,45 @@ class TestErrorsAndEdge:
         result = env.run(until=done)
         # TX completes after serializing both packets, before arrival+latency.
         assert result == 2 * 1024 * 20
+
+
+class TestDetachLeaks:
+    def test_detach_removes_all_node_state(self):
+        """Regression: detach used to pop only _rx, leaking the node's
+        RateLimiter and wire Server forever."""
+        env = Environment()
+        fabric = make_fabric(env)
+        for nid in range(3):
+            fabric.attach(nid, lambda p: None)
+        fabric.detach(1)
+        assert 1 not in fabric._rx
+        assert 1 not in fabric._msg_limiter
+        assert 1 not in fabric._wire
+
+    def test_attach_detach_cycles_do_not_grow_state(self):
+        env = Environment()
+        fabric = make_fabric(env)
+        fabric.attach(0, lambda p: None)
+        for _ in range(50):
+            fabric.attach(7, lambda p: None)
+            msg = Message(source=0, target=7, length=256)
+            fabric.inject(msg)
+            env.run()
+            fabric.detach(7)
+        assert len(fabric._rx) == 1
+        assert len(fabric._msg_limiter) == 1
+        assert len(fabric._wire) == 1
+
+    def test_packets_to_detached_node_dropped_without_residue(self):
+        env = Environment()
+        fabric = make_fabric(env, latency=ns(100))
+        fabric.attach(0, lambda p: None)
+        seen = collect_rx(fabric, 1)
+        msg = Message(source=0, target=1, length=8192)
+        fabric.inject(msg)
+        # Detach the destination while packets are on the wire.
+        fabric.detach(1)
+        env.run()
+        assert seen == []
+        assert fabric.packets_delivered == 0
+        assert 1 not in fabric._wire and 1 not in fabric._msg_limiter

@@ -1,0 +1,96 @@
+"""Perf subsystem: kernel meter, basket smoke, regression comparison."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.des.engine import Environment
+from repro.perf.basket import BASKETS, compare_to_baseline, run_baskets
+from repro.perf.meter import KernelMeter
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestKernelMeter:
+    def test_counts_events_across_environments(self):
+        with KernelMeter() as meter:
+            for _ in range(3):
+                env = Environment()
+                for _ in range(5):
+                    env.timeout(10)
+                env.run()
+        assert meter.environments == 3
+        assert meter.events == 15
+        assert meter.wall_s > 0
+        assert meter.events_per_sec > 0
+
+    def test_environments_outside_window_not_counted(self):
+        outside = Environment()
+        outside.timeout(1)
+        with KernelMeter() as meter:
+            env = Environment()
+            env.timeout(1)
+            env.run()
+        assert meter.events == 1
+
+    def test_nested_meters_rejected(self):
+        with KernelMeter():
+            with pytest.raises(RuntimeError):
+                KernelMeter().__enter__()
+        # The outer exit must have restored the hook.
+        with KernelMeter() as m:
+            Environment().timeout(1)
+        assert m.events == 1
+
+
+class TestBasket:
+    def test_basket_names_fixed(self):
+        assert list(BASKETS) == [
+            "small-message", "large-message", "storage-trace", "app-scale",
+        ]
+
+    def test_tiny_run_produces_document(self):
+        doc = run_baskets(tiny=True, names=["small-message"])
+        basket = doc["baskets"]["small-message"]
+        assert basket["kernel_events"] > 0
+        assert basket["events_per_sec"] > 0
+        assert doc["tiny"] is True
+
+    def test_unknown_basket_rejected(self):
+        with pytest.raises(ValueError):
+            run_baskets(names=["nope"])
+
+    def test_compare_to_baseline(self):
+        measured = {"baskets": {"a": {"events_per_sec": 200.0},
+                                "b": {"events_per_sec": 50.0}}}
+        baseline = {"baskets": {"a": {"events_per_sec": 100.0},
+                                "c": {"events_per_sec": 1.0}}}
+        assert compare_to_baseline(measured, baseline) == {"a": 2.0}
+
+
+class TestCommittedBench:
+    def test_bench_2_exists_and_shows_speedup(self):
+        bench = json.loads((REPO / "BENCH_2.json").read_text())
+        assert bench["bench"] == 2
+        base = bench["baseline"]["full"]["baskets"]
+        opt = bench["optimized"]["full"]["baskets"]
+        for name in ("large-message", "storage-trace"):
+            assert opt[name]["events_per_sec"] > base[name]["events_per_sec"]
+        assert bench["speedup_events_per_sec"]["full"]
+
+    def test_perf_check_cli_passes_against_committed(self):
+        """The CI perf-smoke invocation: tiny basket vs committed numbers.
+
+        Uses a generous floor here (0.2) so the *wiring* is tested without
+        making the suite flaky on loaded machines; CI uses the real 0.70.
+        """
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.campaign", "perf", "--tiny",
+             "-b", "small-message", "--check", "BENCH_2.json",
+             "--min-ratio", "0.2"],
+            cwd=REPO, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
