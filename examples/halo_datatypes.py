@@ -11,15 +11,14 @@ Run:  python examples/halo_datatypes.py
 
 import numpy as np
 
-from repro.core import ReturnCode, spin_me, PtlHPUAllocMem
-from repro.experiments.common import pair_cluster
+from repro.core import PtlHPUAllocMem, spin_me
 from repro.experiments.datatype_recv import (
     datatype_recv_completion_ns,
     effective_bandwidth_gib,
 )
 from repro.handlers_library import make_ddtvec_handlers, unpack_vector_reference
-from repro.machine.config import integrated_config
 from repro.runtime.datatypes import Vector
+from repro.sim import Session
 from repro.runtime.datatypes import iovec_state_bytes, vector_state_bytes
 
 
@@ -31,25 +30,24 @@ def main() -> None:
           f"vector tuple {vector_state_bytes()} B (O(n) vs O(1), §5.2)")
 
     # --- correctness: sPIN unpack handler vs numpy reference -------------
-    cluster = pair_cluster(integrated_config())
-    env = cluster.env
-    src, dst = cluster[0], cluster[1]
+    sess = Session.pair("int", with_memory=True)
+    src, dst = sess[0], sess[1]
     blocksize, stride, count = 96, 192, 16
     message = blocksize * count
     buf = dst.memory.alloc(stride * count)
     _, ph, _ = make_ddtvec_handlers(blocksize=blocksize, stride=stride)
     eq = dst.new_eq()
-    dst.post_me(0, spin_me(match_bits=5, start=buf, length=message,
-                           payload_handler=ph, event_queue=eq,
-                           hpu_memory=PtlHPUAllocMem(dst, 256)))
+    sess.install(1, spin_me(match_bits=5, start=buf, length=message,
+                            payload_handler=ph, event_queue=eq,
+                            hpu_memory=PtlHPUAllocMem(dst, 256)))
     rng = np.random.default_rng(1)
     packed = rng.integers(0, 256, message, dtype=np.uint8)
 
     def sender():
         yield from src.host_put(1, message, match_bits=5, payload=packed)
 
-    env.process(sender())
-    cluster.run()
+    sess.process(sender())
+    sess.drain()
     deposited = dst.memory.read(buf, stride * count)
     reference = unpack_vector_reference(packed, blocksize, stride,
                                         stride * count)

@@ -10,19 +10,18 @@ Run:  python examples/mpi_offload.py
 
 from repro.apps import matching_speedup, milc_trace
 from repro.des import ns
-from repro.experiments.common import pair_cluster
-from repro.machine.config import integrated_config
 from repro.runtime import MPIEndpoint
+from repro.sim import Session
 
 
 def overlap_demo() -> None:
     """One 128 KiB rendezvous under compute: who pays for the transfer?"""
     print("128 KiB rendezvous receive overlapped with 400 us of compute:")
     for protocol in ("rdma", "p4", "spin"):
-        cluster = pair_cluster(integrated_config(), with_memory=False)
-        env = cluster.env
-        a = MPIEndpoint(cluster[0], protocol)
-        b = MPIEndpoint(cluster[1], protocol)
+        sess = Session.pair("int")
+        env = sess.env
+        a = MPIEndpoint(sess[0], protocol)
+        b = MPIEndpoint(sess[1], protocol)
         wait_cost = {}
 
         def sender():
@@ -36,10 +35,10 @@ def overlap_demo() -> None:
             yield from b.wait(req)
             wait_cost["ns"] = (env.now - t0) / 1000
 
-        env.process(sender())
-        proc = env.process(receiver())
-        env.run(until=proc)
-        cluster.run()
+        sess.process(sender())
+        proc = sess.process(receiver())
+        sess.run(until=proc)
+        sess.drain()
         print(f"  {protocol:5s}: wait() blocked for {wait_cost['ns']:8.1f} ns")
     print("(sPIN's header handler issued the get at RTS arrival — the")
     print(" transfer finished during the computation; §5.1's full overlap)\n")

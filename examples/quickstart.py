@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: install a sPIN handler channel and ping-pong through it.
 
-Demonstrates the §1 programming model end to end: define handlers, connect
-a channel (handler-extended PtlMEAppend), send a message, and watch the NIC
+Demonstrates the §1 programming model end to end through the unified
+``repro.sim`` session API: declare a cluster, define handlers, connect a
+channel (handler-extended PtlMEAppend), send a message, and watch the NIC
 answer it without the remote CPU — then compare with the RDMA baseline.
 
 Run:  python examples/quickstart.py
@@ -10,51 +11,50 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import ReturnCode, connect
+from repro.core import ReturnCode
 from repro.experiments import pingpong_half_rtt_ns
-from repro.experiments.common import pair_cluster
-from repro.machine.config import integrated_config
 from repro.portals.matching import MatchEntry
+from repro.sim import Session
 
 
 def main() -> None:
-    # --- 1. build a 2-node simulated system (integrated NIC) -------------
-    cluster = pair_cluster(integrated_config())
-    env = cluster.env
-    origin, target = cluster[0], cluster[1]
+    # --- 1. declare + build a 2-node simulated system (integrated NIC) ----
+    with Session.pair("int", with_memory=True) as sess:
+        env = sess.env
+        origin, target = sess[0], sess[1]
 
-    # --- 2. define handlers (the __handler functions of §1) ---------------
-    def payload_handler(ctx, payload):
-        """Echo every packet back, straight from the NIC."""
-        yield from ctx.put_from_device(
-            payload.payload, target=ctx.message.source, match_bits=99,
-            nbytes=payload.payload_len,
-        )
-        return ReturnCode.SUCCESS
+        # --- 2. define handlers (the __handler functions of §1) -----------
+        def payload_handler(ctx, payload):
+            """Echo every packet back, straight from the NIC."""
+            yield from ctx.put_from_device(
+                payload.payload, target=ctx.message.source, match_bits=99,
+                nbytes=payload.payload_len,
+            )
+            return ReturnCode.SUCCESS
 
-    # --- 3. install the channel on the target (connect() from §1) --------
-    channel = connect(target, peer=0, payload_handler=payload_handler,
-                      hpu_mem_bytes=4096)
-    print(f"installed channel {channel.channel_id} on rank 1")
+        # --- 3. install the channel on the target (connect() from §1) -----
+        channel = sess.connect(1, peer=0, payload_handler=payload_handler,
+                               hpu_mem_bytes=4096)
+        print(f"installed channel {channel.channel_id} on rank 1")
 
-    # --- 4. origin: a plain ME for the echo + a put -----------------------
-    echo_eq = origin.new_eq()
-    buf = origin.memory.alloc(4096)
-    origin.post_me(0, MatchEntry(match_bits=99, start=buf, length=4096,
-                                 event_queue=echo_eq))
-    data = np.arange(64, dtype=np.uint8)
+        # --- 4. origin: a plain ME for the echo + a put --------------------
+        echo_eq = origin.new_eq()
+        buf = origin.memory.alloc(4096)
+        sess.install(0, MatchEntry(match_bits=99, start=buf, length=4096,
+                                   event_queue=echo_eq))
+        data = np.arange(64, dtype=np.uint8)
 
-    def client():
-        yield from origin.host_put(1, 64, match_bits=0, payload=data)
-        event = yield from origin.wait_event(echo_eq)
-        return event
+        def client():
+            yield from origin.host_put(1, 64, match_bits=0, payload=data)
+            event = yield from origin.wait_event(echo_eq)
+            return event
 
-    proc = env.process(client())
-    event = env.run(until=proc)
-    echoed = origin.memory.read(buf, 64)
-    print(f"echo arrived after {env.now_ns:.0f} ns, "
-          f"payload intact: {np.array_equal(echoed, data)}")
-    assert np.array_equal(echoed, data)
+        proc = sess.process(client())
+        sess.run(until=proc)
+        echoed = origin.memory.read(buf, 64)
+        print(f"echo arrived after {sess.now_ns:.0f} ns, "
+              f"payload intact: {np.array_equal(echoed, data)}")
+        assert np.array_equal(echoed, data)
 
     # --- 5. compare the four ping-pong protocol variants ------------------
     print("\n8-byte ping-pong half round trip (integrated NIC):")

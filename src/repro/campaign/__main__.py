@@ -62,17 +62,22 @@ def _print_records(res) -> None:
 
 def cmd_list(args) -> int:
     for name, sc in all_scenarios().items():
-        print(f"{name:<16} {sc.description}")
-        if args.params:
-            for p in sc.params:
-                choices = f" choices={list(p.choices)}" if p.choices else ""
-                print(f"    {p.name}: {p.type.__name__} = {p.default!r}{choices}")
-            if sc.sweep:
-                axes = ", ".join(f"{k}×{len(v)}" for k, v in sc.sweep.items())
-                npoints = 1
-                for v in sc.sweep.values():
-                    npoints *= len(v)
-                print(f"    default sweep: {axes} ({npoints} points)")
+        print(f"{name:<20} {sc.description}")
+        if args.brief:
+            continue
+        for p in sc.params:
+            choices = f"  choices={list(p.choices)}" if p.choices else ""
+            help_ = f"  ({p.help})" if p.help else ""
+            print(f"    {p.name}: {p.type.__name__} = {p.default!r}"
+                  f"{choices}{help_}")
+        if sc.sweep:
+            axes = ", ".join(
+                f"{k}={list(v)}" for k, v in sc.sweep.items()
+            )
+            npoints = 1
+            for v in sc.sweep.values():
+                npoints *= len(v)
+            print(f"    default sweep: {axes} ({npoints} points)")
     return 0
 
 
@@ -206,9 +211,13 @@ def main(argv=None) -> int:
     parser.add_argument("-v", "--verbose", action="store_true")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list = sub.add_parser(
+        "list",
+        help="list registered scenarios with parameter spaces and sweeps")
+    p_list.add_argument("--brief", action="store_true",
+                        help="names and descriptions only")
     p_list.add_argument("--params", action="store_true",
-                        help="also show parameter spaces and default sweeps")
+                        help="(default; kept for compatibility)")
     p_list.set_defaults(fn=cmd_list)
 
     p_run = sub.add_parser("run", help="run one scenario point")

@@ -42,6 +42,7 @@ BUILTIN_SCENARIO_MODULES = (
     "repro.storage.spc",
     "repro.apps.simulator",
     "repro.usecases.kvstore",
+    "repro.sim.scenarios",
 )
 
 

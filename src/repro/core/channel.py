@@ -58,8 +58,9 @@ def connect(
 ) -> Channel:
     """Install handlers for messages from ``peer`` (the §1 code sample).
 
-    Allocates the shared HPU memory, builds the handler-extended ME, and
-    appends it to the portal table.
+    Allocates the shared HPU memory, builds the handler-extended ME,
+    validates the handler resources at install time, and appends it to the
+    portal table.
     """
     hpu_memory = PtlHPUAllocMem(machine, hpu_mem_bytes)
     entry = spin_me(
@@ -76,6 +77,10 @@ def connect(
         hpu_memory=hpu_memory,
         params=params,
     )
+    if entry.spin is not None:
+        # Append validates too, but only after post_me may have allocated
+        # the portal index; rejecting here leaves the NI untouched.
+        entry.spin.validate(machine.ni.limits)
     machine.post_me(pt_index, entry)
     channel = Channel(
         channel_id=next(_channel_ids), machine=machine, entry=entry,

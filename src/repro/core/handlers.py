@@ -160,6 +160,10 @@ class HandlerSet:
         """Installation-time checks (the system may reject oversized setups)."""
         limits.validate_user_header(self.user_hdr_size)
         if self.hpu_memory is not None:
+            if self.hpu_memory.freed:
+                raise PortalsError(
+                    "handler set references freed HPU memory (use-after-free)"
+                )
             limits.validate_hpu_alloc(self.hpu_memory.size)
         if self.initial_state is not None:
             limits.validate_initial_state(len(self.initial_state))

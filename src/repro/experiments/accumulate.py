@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.campaign.registry import Param, scenario as campaign_scenario
 from repro.core.api import PtlHPUAllocMem, spin_me
-from repro.experiments.common import config_by_name, pair_cluster
+from repro.experiments.common import config_by_name, pair_session
 from repro.handlers_library import ACCUMULATE_CYCLES_PER_BYTE, make_accumulate_handlers
 from repro.machine.config import MachineConfig
 from repro.portals.matching import MatchEntry
@@ -40,17 +40,17 @@ def accumulate_completion_ns(size: int, mode: str, config: MachineConfig | str,
         config = config_by_name(config)
     if mode not in ("rdma", "spin"):
         raise ValueError(f"unknown mode {mode!r}")
-    cluster = pair_cluster(config, with_memory=False,
-                           trace=timeline_sink is not None)
+    sess = pair_session(config, with_memory=False,
+                        trace=timeline_sink is not None)
     if timeline_sink is not None:
-        timeline_sink.append(cluster.timeline)
-    env = cluster.env
-    origin, target = cluster[0], cluster[1]
+        timeline_sink.append(sess.timeline)
+    env = sess.env
+    origin, target = sess[0], sess[1]
     done = env.event()
 
     if mode == "rdma":
         eq = target.new_eq()
-        target.post_me(0, MatchEntry(match_bits=ACC_TAG, length=size, event_queue=eq))
+        sess.install(1, MatchEntry(match_bits=ACC_TAG, length=size, event_queue=eq))
 
         def consumer():
             yield from target.wait_event(eq)
@@ -63,11 +63,11 @@ def accumulate_completion_ns(size: int, mode: str, config: MachineConfig | str,
             )
             done.succeed(env.now)
 
-        env.process(consumer())
+        sess.process(consumer())
     else:
         hh, ph, ch = make_accumulate_handlers(pong=False)
         eq = target.new_eq()
-        target.post_me(0, spin_me(
+        sess.install(1, spin_me(
             match_bits=ACC_TAG, length=size,
             header_handler=hh, payload_handler=ph,
             event_queue=eq,
@@ -81,9 +81,9 @@ def accumulate_completion_ns(size: int, mode: str, config: MachineConfig | str,
         finish = yield done
         return finish - start
 
-    proc = env.process(producer())
-    elapsed_ps = env.run(until=proc)
-    cluster.run()
+    proc = sess.process(producer())
+    elapsed_ps = sess.run(until=proc)
+    sess.drain()
     return elapsed_ps / 1000.0
 
 

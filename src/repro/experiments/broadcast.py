@@ -19,14 +19,12 @@ event, i.e. data durable in host memory).
 from __future__ import annotations
 
 from repro.core.api import PtlHPUAllocMem, spin_me
-from repro.core.nic import SpinNIC
 from repro.experiments.common import config_by_name
 from repro.handlers_library import binomial_children, make_bcast_handlers
-from repro.machine.cluster import Cluster
 from repro.machine.config import MachineConfig
 from repro.network.packets import Message
-from repro.network.topology import FatTree
 from repro.portals.matching import MatchEntry
+from repro.sim.session import Session
 
 __all__ = ["BCAST_MODES", "broadcast_latency_ns"]
 
@@ -42,10 +40,8 @@ def broadcast_latency_ns(
         config = config_by_name(config)
     if mode not in BCAST_MODES:
         raise ValueError(f"unknown mode {mode!r}")
-    topology = FatTree(params=config.network, nhosts=max(nprocs, 2))
-    cluster = Cluster(nprocs, config=config, nic_factory=SpinNIC,
-                      topology=topology, with_memory=False, noise=noise)
-    env = cluster.env
+    sess = Session.fattree(nprocs, config=config, noise=noise)
+    env = sess.env
     done = env.event()
     remaining = {"count": nprocs - 1}
 
@@ -55,11 +51,11 @@ def broadcast_latency_ns(
             done.succeed(env.now)
 
     for rank in range(1, nprocs):
-        machine = cluster[rank]
+        machine = sess[rank]
         eq = machine.new_eq()
         children = binomial_children(rank, nprocs)
         if mode == "rdma":
-            machine.post_me(0, MatchEntry(match_bits=BCAST_TAG, length=size,
+            sess.install(rank, MatchEntry(match_bits=BCAST_TAG, length=size,
                                           event_queue=eq))
 
             def forwarder(machine=machine, eq=eq, children=children):
@@ -69,10 +65,10 @@ def broadcast_latency_ns(
                     yield from machine.host_put(child, size, match_bits=BCAST_TAG)
                 rank_done()
 
-            env.process(forwarder())
+            sess.process(forwarder())
         elif mode == "p4":
             ct = machine.new_counter()
-            machine.post_me(0, MatchEntry(match_bits=BCAST_TAG, length=size,
+            sess.install(rank, MatchEntry(match_bits=BCAST_TAG, length=size,
                                           counter=ct, event_queue=eq))
             for child in children:
                 machine.ni.triggered.arm(
@@ -88,7 +84,7 @@ def broadcast_latency_ns(
         else:  # spin
             hh, ph, ch = make_bcast_handlers(rank, nprocs, streaming=True,
                                              match_bits=BCAST_TAG)
-            machine.post_me(0, spin_me(
+            sess.install(rank, spin_me(
                 match_bits=BCAST_TAG, length=size,
                 header_handler=hh, payload_handler=ph, completion_handler=ch,
                 event_queue=eq,
@@ -99,13 +95,13 @@ def broadcast_latency_ns(
     def root():
         start = env.now
         for child in binomial_children(0, nprocs):
-            yield from cluster[0].host_put(child, size, match_bits=BCAST_TAG)
+            yield from sess[0].host_put(child, size, match_bits=BCAST_TAG)
         finish = yield done
         return finish - start
 
-    proc = env.process(root())
-    elapsed_ps = env.run(until=proc)
-    cluster.run()
+    proc = sess.process(root())
+    elapsed_ps = sess.run(until=proc)
+    sess.drain()
     return elapsed_ps / 1000.0
 
 

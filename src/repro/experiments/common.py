@@ -1,19 +1,38 @@
-"""Shared experiment scaffolding."""
+"""Shared experiment scaffolding (thin wrappers over :mod:`repro.sim`)."""
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.nic import SpinNIC
 from repro.machine.cluster import Cluster
 from repro.machine.config import (
     CROSS_POD_LATENCY_PS,
     MachineConfig,
     config_by_name,
 )
-from repro.network.topology import UniformLatency
+from repro.sim.session import ClusterSpec, Session
 
-__all__ = ["config_by_name", "pair_cluster", "CROSS_POD_LATENCY_PS"]
+__all__ = ["config_by_name", "pair_cluster", "pair_session",
+           "CROSS_POD_LATENCY_PS"]
+
+
+def pair_session(
+    config: MachineConfig | str,
+    nprocs: int = 2,
+    trace: bool = False,
+    with_memory: bool = True,
+    latency_ps: Optional[int] = None,
+) -> Session:
+    """A session whose endpoint pairs sit cross-pod (worst case L)."""
+    return Session(ClusterSpec(
+        nodes=nprocs,
+        config=config,
+        nic="spin",
+        topology="pair",
+        latency_ps=latency_ps,
+        trace=trace,
+        with_memory=with_memory,
+    ))
 
 
 def pair_cluster(
@@ -23,15 +42,6 @@ def pair_cluster(
     with_memory: bool = True,
     latency_ps: Optional[int] = None,
 ) -> Cluster:
-    """A small cluster whose endpoint pairs sit cross-pod (worst case L)."""
-    topo = UniformLatency(
-        latency=CROSS_POD_LATENCY_PS if latency_ps is None else latency_ps
-    )
-    return Cluster(
-        nprocs,
-        config=config,
-        nic_factory=SpinNIC,
-        topology=topo,
-        trace=trace,
-        with_memory=with_memory,
-    )
+    """Back-compat wrapper: the bare cluster of :func:`pair_session`."""
+    return pair_session(config, nprocs=nprocs, trace=trace,
+                        with_memory=with_memory, latency_ps=latency_ps).cluster

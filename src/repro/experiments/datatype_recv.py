@@ -17,7 +17,7 @@ A 4 MiB message is unpacked at the destination into a vector layout
 from __future__ import annotations
 
 from repro.core.api import PtlHPUAllocMem, spin_me
-from repro.experiments.common import config_by_name, pair_cluster
+from repro.experiments.common import config_by_name, pair_session
 from repro.machine.config import MachineConfig
 from repro.portals.matching import MatchEntry
 from repro.handlers_library import make_ddtvec_handlers
@@ -46,16 +46,16 @@ def datatype_recv_completion_ns(
     if mode not in ("rdma", "spin"):
         raise ValueError(f"unknown mode {mode!r}")
     stride = 2 * blocksize if stride is None else stride
-    cluster = pair_cluster(config, with_memory=False)
-    env = cluster.env
-    origin, target = cluster[0], cluster[1]
+    sess = pair_session(config, with_memory=False)
+    env = sess.env
+    origin, target = sess[0], sess[1]
     done = env.event()
     nblocks = -(-message_bytes // blocksize)
 
     if mode == "rdma":
         eq = target.new_eq()
-        target.post_me(0, MatchEntry(match_bits=DDT_TAG, length=message_bytes,
-                                     event_queue=eq))
+        sess.install(1, MatchEntry(match_bits=DDT_TAG, length=message_bytes,
+                                   event_queue=eq))
 
         def unpacker():
             yield from target.wait_event(eq)
@@ -67,11 +67,11 @@ def datatype_recv_completion_ns(
             yield from target.cpu.touch(message_bytes, passes=2, label="unpack-copy")
             done.succeed(env.now)
 
-        env.process(unpacker())
+        sess.process(unpacker())
     else:
         _, ph, _ = make_ddtvec_handlers(blocksize=blocksize, stride=stride)
         eq = target.new_eq()
-        target.post_me(0, spin_me(
+        sess.install(1, spin_me(
             match_bits=DDT_TAG, length=message_bytes,
             payload_handler=ph, event_queue=eq,
             hpu_memory=PtlHPUAllocMem(target, 256),
@@ -84,9 +84,9 @@ def datatype_recv_completion_ns(
         finish = yield done
         return finish - start
 
-    proc = env.process(sender())
-    elapsed_ps = env.run(until=proc)
-    cluster.run()
+    proc = sess.process(sender())
+    elapsed_ps = sess.run(until=proc)
+    sess.drain()
     return elapsed_ps / 1000.0
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from repro.campaign.registry import Param, scenario as campaign_scenario
 from repro.core.api import PtlHPUAllocMem, spin_me
-from repro.experiments.common import config_by_name, pair_cluster
+from repro.experiments.common import config_by_name, pair_session
 from repro.handlers_library import PONG_TAG, make_pingpong_handlers
 from repro.machine.config import MachineConfig
 from repro.network.packets import Message
@@ -47,33 +47,33 @@ def pingpong_half_rtt_ns(size: int, mode: str, config: MachineConfig | str,
         config = config_by_name(config)
     if mode not in PINGPONG_MODES:
         raise ValueError(f"unknown mode {mode!r}")
-    cluster = pair_cluster(config, with_memory=False,
-                           trace=timeline_sink is not None)
+    sess = pair_session(config, with_memory=False,
+                        trace=timeline_sink is not None)
     if timeline_sink is not None:
-        timeline_sink.append(cluster.timeline)
+        timeline_sink.append(sess.timeline)
     if noise is not None:
-        cluster[1].cpu.noise = noise
-    env = cluster.env
-    origin, target = cluster[0], cluster[1]
+        sess[1].cpu.noise = noise
+    env = sess.env
+    origin, target = sess[0], sess[1]
 
     pong_eq = origin.new_eq()
-    origin.post_me(0, MatchEntry(match_bits=PONG_TAG, length=size,
-                                 event_queue=pong_eq))
+    sess.install(0, MatchEntry(match_bits=PONG_TAG, length=size,
+                               event_queue=pong_eq))
 
     if mode == "rdma":
         ping_eq = target.new_eq()
-        target.post_me(0, MatchEntry(match_bits=PING_TAG, length=size,
-                                     event_queue=ping_eq))
+        sess.install(1, MatchEntry(match_bits=PING_TAG, length=size,
+                                   event_queue=ping_eq))
 
         def responder():
             yield from target.wait_event(ping_eq)  # poll for completion
             yield from target.cpu.match()          # software matching
             yield from target.host_put(0, size, match_bits=PONG_TAG)
 
-        env.process(responder())
+        sess.process(responder())
     elif mode == "p4":
         ct = target.new_counter()
-        target.post_me(0, MatchEntry(match_bits=PING_TAG, length=size, counter=ct))
+        sess.install(1, MatchEntry(match_bits=PING_TAG, length=size, counter=ct))
         target.ni.triggered.arm(
             ct, 1,
             lambda: target.nic.send(
@@ -85,7 +85,7 @@ def pingpong_half_rtt_ns(size: int, mode: str, config: MachineConfig | str,
         )
     else:
         hh, ph, ch = make_pingpong_handlers(streaming=(mode == "spin_stream"))
-        target.post_me(0, spin_me(
+        sess.install(1, spin_me(
             match_bits=PING_TAG, length=size,
             header_handler=hh, payload_handler=ph, completion_handler=ch,
             hpu_memory=PtlHPUAllocMem(target, 8192),
@@ -112,9 +112,9 @@ def pingpong_half_rtt_ns(size: int, mode: str, config: MachineConfig | str,
         yield from origin.cpu.poll()
         return env.now - state["start"]
 
-    proc = env.process(pinger())
-    rtt_ps = env.run(until=proc)
-    cluster.run()  # drain remaining events
+    proc = sess.process(pinger())
+    rtt_ps = sess.run(until=proc)
+    sess.drain()  # drain remaining events
     return rtt_ps / 2 / 1000.0
 
 

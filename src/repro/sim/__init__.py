@@ -1,0 +1,42 @@
+"""The unified session API: declarative simulations, workload, metrics.
+
+The paper's pitch is a *programming model* — write three small handlers
+and the NIC does the rest.  This package is that model's front door for
+the reproduction:
+
+``session``    :class:`ClusterSpec` + :class:`Session` — declarative
+               cluster construction, validated channel/ME installation,
+               run control, teardown
+``drivers``    :class:`OpenLoopDriver` / :class:`ClosedLoopDriver` —
+               composable load generators over any installed channel
+``metrics``    :class:`Metrics` / :class:`LatencyStats` — per-stream
+               throughput, completion counts, drops, latency percentiles
+``scenarios``  the load-scenario family registered with the campaign
+               (``pingpong_open_load``, ``kvstore_load``,
+               ``mixed_tenants``)
+
+Quick start::
+
+    from repro.sim import Session
+
+    with Session.pair("int") as sess:
+        channel = sess.connect(1, payload_handler=my_handler)
+        proc = sess.process(my_client())
+        sess.run(until=proc)
+        sess.drain()
+"""
+
+from repro.sim.drivers import ClosedLoopDriver, OpenLoopDriver, SizeMix
+from repro.sim.metrics import LatencyStats, Metrics, percentile_ps
+from repro.sim.session import ClusterSpec, Session
+
+__all__ = [
+    "ClosedLoopDriver",
+    "ClusterSpec",
+    "LatencyStats",
+    "Metrics",
+    "OpenLoopDriver",
+    "Session",
+    "SizeMix",
+    "percentile_ps",
+]

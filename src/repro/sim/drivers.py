@@ -1,0 +1,253 @@
+"""Composable workload drivers: open-loop and closed-loop load generators.
+
+A driver turns an installed channel (or any matching entry) into *load*:
+
+* :class:`OpenLoopDriver` — an arrival process posts puts at a configured
+  offered rate (Poisson-style interarrivals drawn from its own seeded RNG),
+  independent of completions — the canonical way to find saturation;
+* :class:`ClosedLoopDriver` — N concurrent clients, each issuing the next
+  request only after the previous one completed, with optional think time
+  — the canonical way to model a population of users.
+
+Both measure **request latency** from the moment the request is issued
+(client CPU queueing included) to the arrival of the Portals ACK back at
+the initiator, and feed a :class:`~repro.sim.metrics.Metrics` sink.
+Determinism: every random draw comes from ``random.Random`` instances
+seeded from the driver's ``seed`` parameter — never the process-global RNG
+— so a driver run is reproducible regardless of executor seeding, worker
+count, or interleaving with other drivers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Sequence, Union
+
+from repro.des.engine import Event, Process
+from repro.portals.events import EventQueue
+from repro.portals.ni import MemoryDescriptor
+from repro.sim.metrics import Metrics
+
+__all__ = ["ClosedLoopDriver", "OpenLoopDriver", "SizeMix"]
+
+#: 1 million messages/second expressed as a picosecond interarrival.
+_PS_PER_MMPS = 1_000_000
+
+
+@dataclass(frozen=True)
+class SizeMix:
+    """A weighted message-size distribution sampled per request."""
+
+    sizes: tuple[int, ...]
+    weights: Optional[tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("empty size mix")
+        if any(s < 0 for s in self.sizes):
+            raise ValueError("negative message size")
+        if self.weights is not None and len(self.weights) != len(self.sizes):
+            raise ValueError("weights/sizes length mismatch")
+
+    @classmethod
+    def fixed(cls, nbytes: int) -> "SizeMix":
+        return cls(sizes=(nbytes,))
+
+    def sample(self, rng: random.Random) -> int:
+        if len(self.sizes) == 1:
+            return self.sizes[0]
+        return rng.choices(self.sizes, weights=self.weights)[0]
+
+
+def _coerce_mix(size: Union[int, SizeMix, Sequence[int]]) -> SizeMix:
+    if isinstance(size, SizeMix):
+        return size
+    if isinstance(size, int):
+        return SizeMix.fixed(size)
+    return SizeMix(sizes=tuple(size))
+
+
+class _DriverBase:
+    """Shared request plumbing: acked puts with per-request latency."""
+
+    def __init__(
+        self,
+        session,
+        *,
+        target: int,
+        size: Union[int, SizeMix, Sequence[int]] = 64,
+        match_bits: int = 0,
+        pt_index: int = 0,
+        seed: int = 1,
+        metrics: Optional[Metrics] = None,
+        stream: str = "load",
+        make_request: Optional[Callable[[random.Random, int], dict]] = None,
+    ):
+        self.session = session
+        self.target = target
+        self.size_mix = _coerce_mix(size)
+        self.match_bits = match_bits
+        self.pt_index = pt_index
+        self.seed = seed
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.stream = stream
+        self._make_request = make_request
+        #: In-flight bookkeeping: md_id → (machine, stream) until the ACK
+        #: lands, reconciled by :meth:`finalize` after the sim drains.
+        self._pending: dict[int, tuple[Any, str]] = {}
+
+    def request_kwargs(self, rng: random.Random, index: int) -> dict:
+        """The put for request ``index``; override via ``make_request``."""
+        if self._make_request is not None:
+            return self._make_request(rng, index)
+        return {
+            "target": self.target,
+            "nbytes": self.size_mix.sample(rng),
+            "match_bits": self.match_bits,
+            "pt_index": self.pt_index,
+        }
+
+    def _tracked_put(self, machine, stream: str,
+                     request: dict) -> Generator[object, object, Event]:
+        """Post one acked put; returns a gate firing when the ACK lands.
+
+        The latency clock starts when the request is issued (before the
+        client core is acquired) and stops when the Portals ACK event
+        reaches the initiator-side MD — one full offloaded round trip.
+        """
+        env = machine.env
+        stats = self.metrics.stream(stream)
+        target = request.pop("target")
+        nbytes = request.pop("nbytes")
+        eq = EventQueue(capacity=4, name=f"drv[{machine.rank}]")
+        md = machine.bind_md(MemoryDescriptor(event_queue=eq))
+        gate = env.event()
+        start = env.now
+        stats.start()
+        self._pending[md.md_id] = (machine, stream)
+
+        def on_ack(_event) -> None:
+            stats.record(env.now - start, nbytes)
+            machine.ni.mds.pop(md.md_id, None)  # keep the MD table bounded
+            self._pending.pop(md.md_id, None)
+            gate.succeed(env.now)
+
+        eq.on_next(on_ack)
+        yield from machine.host_put(target, nbytes, ack=True, md=md, **request)
+        return gate
+
+    def finalize(self) -> int:
+        """Reconcile requests whose ACK never arrived; call after draining.
+
+        A message dropped at the target (no match, flow control) is never
+        ACKed — like real Portals, the initiator sees nothing.  Once the
+        DES has quiesced that silence is definitive, so every still-pending
+        request is recorded as a drop, its MD is unbound, and (closed
+        loop) its client is known to be permanently stalled.  Returns the
+        number of lost requests.
+        """
+        lost = len(self._pending)
+        for md_id, (machine, stream) in self._pending.items():
+            machine.ni.mds.pop(md_id, None)
+            self.metrics.stream(stream).drop()
+        self._pending.clear()
+        if lost:
+            self.metrics.bump("lost_requests", lost)
+        return lost
+
+
+class OpenLoopDriver(_DriverBase):
+    """Offered-load generator: puts at ``rate_mmps`` regardless of replies.
+
+    The arrival process draws exponential interarrivals (mean
+    ``1/rate_mmps`` microseconds) from its seeded RNG — or fixed gaps with
+    ``poisson=False`` — and hands each request to its own client process,
+    so posting overhead ``o`` contends for host cores exactly as concurrent
+    senders would.  Latency percentiles under increasing ``rate_mmps``
+    trace the saturation curve.
+    """
+
+    def __init__(self, session, *, source: int, rate_mmps: float,
+                 count: int, poisson: bool = True, **kwargs: Any):
+        super().__init__(session, **kwargs)
+        if rate_mmps <= 0:
+            raise ValueError("offered rate must be positive")
+        if count < 1:
+            raise ValueError("need at least one request")
+        self.source = source
+        self.rate_mmps = rate_mmps
+        self.count = count
+        self.poisson = poisson
+
+    def start(self) -> Process:
+        """Launch the arrival process; returns it (fires when all posted)."""
+        return self.session.process(self._arrivals(), name=f"open[{self.stream}]")
+
+    def _arrivals(self) -> Generator:
+        env = self.session.env
+        machine = self.session[self.source]
+        rng = random.Random(self.seed)
+        mean_gap_ps = _PS_PER_MMPS / self.rate_mmps
+        for index in range(self.count):
+            gap = (round(rng.expovariate(1.0) * mean_gap_ps) if self.poisson
+                   else round(mean_gap_ps))
+            if gap:
+                yield env.timeout(gap)
+            request = self.request_kwargs(rng, index)
+            env.process(self._one(machine, request), name=f"req[{index}]")
+
+    def _one(self, machine, request: dict) -> Generator:
+        yield from self._tracked_put(machine, self.stream, request)
+        # The gate resolves on ACK; open-loop clients never wait for it.
+
+
+class ClosedLoopDriver(_DriverBase):
+    """N concurrent clients, each one request in flight, optional think time.
+
+    Clients are assigned round-robin over ``sources`` (one simulated host
+    can run several client loops — its cores are the shared resource).
+    Each client thinks for an exponential ``think_ns`` (0 disables), posts
+    an acked put, waits for the ACK, records the latency, and repeats
+    ``requests_per_client`` times.
+
+    A request dropped at the target is never ACKed, so its client blocks
+    forever — the honest closed-loop outcome.  Call :meth:`finalize` after
+    draining to turn that silence into recorded drops (and a
+    ``lost_requests`` note) instead of silently deflated load.
+    """
+
+    def __init__(self, session, *, sources: Sequence[int], clients: int,
+                 requests_per_client: int, think_ns: float = 0.0,
+                 per_client_streams: bool = False, **kwargs: Any):
+        super().__init__(session, **kwargs)
+        if not sources:
+            raise ValueError("need at least one source rank")
+        if clients < 1 or requests_per_client < 1:
+            raise ValueError("need at least one client and one request")
+        self.sources = tuple(sources)
+        self.clients = clients
+        self.requests_per_client = requests_per_client
+        self.think_ns = think_ns
+        self.per_client_streams = per_client_streams
+
+    def start(self) -> list[Process]:
+        """Launch every client loop; returns their processes."""
+        return [
+            self.session.process(self._client(c), name=f"client[{c}]")
+            for c in range(self.clients)
+        ]
+
+    def _client(self, client_index: int) -> Generator:
+        env = self.session.env
+        machine = self.session[self.sources[client_index % len(self.sources)]]
+        rng = random.Random(self.seed * 1_000_003 + client_index)
+        stream = (f"{self.stream}.c{client_index}" if self.per_client_streams
+                  else self.stream)
+        think_ps = self.think_ns * 1000.0
+        for index in range(self.requests_per_client):
+            if think_ps:
+                yield env.timeout(round(rng.expovariate(1.0) * think_ps))
+            request = self.request_kwargs(rng, index)
+            gate = yield from self._tracked_put(machine, stream, request)
+            yield gate

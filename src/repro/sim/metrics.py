@@ -1,0 +1,144 @@
+"""First-class load metrics: latency distributions, throughput, drops.
+
+Workload drivers feed per-request samples into a :class:`Metrics` sink,
+one stream per channel/client/tenant; :meth:`Metrics.summary` folds every
+stream into JSON-serialisable scalars (the campaign contract), including
+nearest-rank latency percentiles computed from simulation timestamps.
+
+All arithmetic is integer-picosecond until the final report, so summaries
+are bit-identical across runs, worker processes, and hosts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["LatencyStats", "Metrics", "percentile_ps"]
+
+
+def percentile_ps(sorted_samples: list[int], q: float) -> int:
+    """Nearest-rank percentile of pre-sorted integer samples (q in [0, 1])."""
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    rank = max(1, math.ceil(q * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+@dataclass
+class LatencyStats:
+    """Accumulates request latencies (integer picoseconds) for one stream."""
+
+    samples_ps: list[int] = field(default_factory=list)
+    bytes_total: int = 0
+    started: int = 0
+    completed: int = 0
+    dropped: int = 0
+
+    def start(self) -> None:
+        self.started += 1
+
+    def record(self, latency_ps: int, nbytes: int = 0) -> None:
+        if latency_ps < 0:
+            raise ValueError(f"negative latency {latency_ps}")
+        self.samples_ps.append(latency_ps)
+        self.completed += 1
+        self.bytes_total += nbytes
+
+    def drop(self) -> None:
+        self.dropped += 1
+
+    @property
+    def in_flight(self) -> int:
+        return self.started - self.completed - self.dropped
+
+    def percentile_ns(self, q: float) -> float:
+        return percentile_ps(sorted(self.samples_ps), q) / 1000.0
+
+    def summary(self, elapsed_ps: Optional[int] = None) -> dict:
+        """Scalars for this stream (latencies in ns, rates per second)."""
+        out: dict = {
+            "started": self.started,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "bytes": self.bytes_total,
+        }
+        if self.samples_ps:
+            ordered = sorted(self.samples_ps)
+            out.update(
+                p50_ns=percentile_ps(ordered, 0.50) / 1000.0,
+                p99_ns=percentile_ps(ordered, 0.99) / 1000.0,
+                max_ns=ordered[-1] / 1000.0,
+                mean_ns=sum(ordered) / len(ordered) / 1000.0,
+            )
+        if elapsed_ps:
+            seconds = elapsed_ps * 1e-12
+            out["throughput_rps"] = self.completed / seconds
+            out["gib_s"] = self.bytes_total / seconds / (1 << 30)
+        return out
+
+
+class Metrics:
+    """A collection of named latency/throughput streams.
+
+    Streams are created on first use; :meth:`summary` reports each stream
+    under its own key plus a ``total`` roll-up.  ``note`` counters hold
+    scenario-specific tallies (NIC inserts, host fallbacks, drops observed
+    at a portal table) that ride along into the same result dict.
+    """
+
+    def __init__(self) -> None:
+        self.streams: dict[str, LatencyStats] = {}
+        self.notes: dict[str, float] = {}
+
+    def stream(self, name: str) -> LatencyStats:
+        try:
+            return self.streams[name]
+        except KeyError:
+            stats = self.streams[name] = LatencyStats()
+            return stats
+
+    def note(self, name: str, value: float) -> None:
+        """Record (or overwrite) a scenario-specific scalar."""
+        self.notes[name] = value
+
+    def bump(self, name: str, delta: float = 1) -> None:
+        self.notes[name] = self.notes.get(name, 0) + delta
+
+    def observe_pt_drops(self, machine, pt_index: int = 0,
+                         prefix: str = "pt") -> None:
+        """Snapshot a portal-table entry's drop accounting into notes."""
+        pt = machine.ni.pt(pt_index)
+        self.bump(f"{prefix}_dropped_messages", pt.dropped_messages)
+        self.bump(f"{prefix}_dropped_bytes", pt.dropped_bytes)
+
+    def total(self) -> LatencyStats:
+        """Merged view across every stream (fresh object, order-stable)."""
+        merged = LatencyStats()
+        for name in sorted(self.streams):
+            s = self.streams[name]
+            merged.samples_ps.extend(s.samples_ps)
+            merged.bytes_total += s.bytes_total
+            merged.started += s.started
+            merged.completed += s.completed
+            merged.dropped += s.dropped
+        return merged
+
+    def summary(self, elapsed_ps: Optional[int] = None,
+                per_stream: bool = True) -> dict:
+        """Flat, JSON-serialisable scalars: totals + per-stream breakdown."""
+        out: dict = {}
+        total = self.total()
+        for key, value in total.summary(elapsed_ps).items():
+            out[key] = value
+        if elapsed_ps:
+            out["elapsed_ns"] = elapsed_ps / 1000.0
+        if per_stream and len(self.streams) > 1:
+            for name in sorted(self.streams):
+                for key, value in self.streams[name].summary(elapsed_ps).items():
+                    out[f"{name}.{key}"] = value
+        out.update(self.notes)
+        return out

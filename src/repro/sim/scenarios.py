@@ -1,0 +1,304 @@
+"""Load-testing scenarios built on the session API.
+
+These are the scenarios the ``repro.sim`` redesign makes cheap: a few
+declarative lines each, all registered with the campaign so they sweep,
+cache, and parallelise like every other scenario.
+
+* ``pingpong_open_load`` — open-loop offered-rate sweep against one
+  server: latency percentiles vs. offered load, to saturation;
+* ``kvstore_load`` — closed-loop client population against a sharded
+  KV-insert service (the §5.4 bounded-chain-walk handler) with think time;
+* ``mixed_tenants`` — heterogeneous handler channels (count / scan /
+  echo tenants) sharing one target NIC, each under its own open-loop
+  driver, reported per tenant.
+
+Every scenario draws randomness only from ``random.Random(seed)`` handed
+to the drivers, so results are bit-identical under the serial and
+multi-worker campaign executors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.campaign.registry import Param, scenario as campaign_scenario
+from repro.core.handlers import ReturnCode
+from repro.portals.matching import MatchEntry
+from repro.sim.drivers import ClosedLoopDriver, OpenLoopDriver, SizeMix
+from repro.sim.metrics import Metrics
+from repro.sim.session import Session
+
+__all__ = ["LOAD_TAG", "ECHO_TAG"]
+
+LOAD_TAG = 40
+ECHO_TAG = 41
+#: Handler-side walk budget for the KV insert service (mirrors §5.4).
+KV_WALK_BUDGET = 4
+
+
+def _round2(value: float) -> float:
+    return round(value, 2)
+
+
+# ---------------------------------------------------------------------------
+# pingpong_open_load
+# ---------------------------------------------------------------------------
+
+@campaign_scenario(
+    "pingpong_open_load",
+    params=[
+        Param("rate_mmps", float, default=1.0,
+              help="offered load, million messages/second"),
+        Param("count", int, default=64, help="messages offered"),
+        Param("size", int, default=16384, help="message size in bytes"),
+        Param("mode", str, default="spin", choices=("rdma", "spin")),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("seed", int, default=1),
+    ],
+    description="open-loop offered-rate sweep to saturation (session API)",
+    tiny={"count": 16, "rate_mmps": 0.5, "size": 2048},
+    # The 50 GB/s wire saturates ~3 Mmps at 16 KiB: the grid brackets the
+    # knee so the latency blow-up is visible in one default sweep.
+    sweep={"rate_mmps": (0.5, 1.0, 2.0, 4.0), "mode": ("rdma", "spin")},
+    tags=("load", "latency"),
+)
+def _pingpong_open_load(rate_mmps: float, count: int, size: int, mode: str,
+                        config: str, seed: int) -> dict:
+    with Session.pair(config) as sess:
+        if mode == "spin":
+            def count_header_handler(ctx, h):
+                ctx.charge(16)
+                ctx.state.vars["served"] = ctx.state.vars.get("served", 0) + 1
+                return ReturnCode.PROCEED
+
+            sess.connect(1, match_bits=LOAD_TAG, length=1 << 30,
+                         header_handler=count_header_handler,
+                         hpu_mem_bytes=256)
+        else:
+            sess.install(1, MatchEntry(match_bits=LOAD_TAG, length=1 << 30))
+        metrics = Metrics()
+        driver = OpenLoopDriver(
+            sess, source=0, target=1, rate_mmps=rate_mmps, count=count,
+            size=size, match_bits=LOAD_TAG, seed=seed, metrics=metrics,
+        )
+        driver.start()
+        sess.drain()
+        driver.finalize()
+        metrics.observe_pt_drops(sess[1])
+        summary = metrics.summary(elapsed_ps=sess.env.now)
+    return {
+        "offered_mmps": rate_mmps,
+        "achieved_mmps": _round2(summary.get("throughput_rps", 0.0) / 1e6),
+        "completed": summary["completed"],
+        "lost": summary["dropped"],
+        "p50_ns": summary.get("p50_ns", 0.0),
+        "p99_ns": summary.get("p99_ns", 0.0),
+        "max_ns": summary.get("max_ns", 0.0),
+        "dropped_messages": summary.get("pt_dropped_messages", 0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# kvstore_load
+# ---------------------------------------------------------------------------
+
+def _kv_hash(key: bytes, buckets: int, salt: bytes = b"") -> int:
+    digest = hashlib.blake2b(key, digest_size=8, salt=salt).digest()
+    return int.from_bytes(digest, "little") % buckets
+
+
+@campaign_scenario(
+    "kvstore_load",
+    params=[
+        Param("nservers", int, default=2),
+        Param("nclients", int, default=2, help="client host machines"),
+        Param("clients", int, default=4, help="concurrent client loops"),
+        Param("requests", int, default=16, help="inserts per client loop"),
+        Param("value_bytes", int, default=64),
+        Param("nbuckets", int, default=64),
+        Param("think_ns", float, default=500.0,
+              help="mean exponential think time per client"),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("seed", int, default=1),
+    ],
+    description="closed-loop client population vs. KV-insert server count",
+    tiny={"clients": 2, "requests": 4},
+    sweep={"nservers": (1, 2, 4), "clients": (2, 8)},
+    tags=("load", "kvstore", "usecase"),
+)
+def _kvstore_load(nservers: int, nclients: int, clients: int, requests: int,
+                  value_bytes: int, nbuckets: int, think_ns: float,
+                  config: str, seed: int) -> dict:
+    nodes = nclients + nservers
+    counters = {"nic_inserts": 0, "host_fallback": 0}
+    tables = [{b: [] for b in range(nbuckets)} for _ in range(nservers)]
+
+    with Session.pair(config, nodes=nodes) as sess:
+        def make_insert_handler(server_index: int):
+            def insert_header_handler(ctx, h):
+                user = h.user_hdr
+                chain = tables[server_index][user["bucket"]]
+                steps = min(len(chain), KV_WALK_BUDGET)
+                ctx.charge(12 + 8 * steps)
+                if len(chain) >= KV_WALK_BUDGET:
+                    counters["host_fallback"] += 1
+                    machine = ctx.nic.machine
+
+                    def host_side(chain=chain, user=user, machine=machine):
+                        yield from machine.cpu.run(
+                            machine.config.host.dram_latency_ps * (len(chain) + 1),
+                            "kv-host-insert",
+                        )
+                        chain.append((user["key"], user["value"]))
+
+                    ctx.env.process(host_side())
+                    return ReturnCode.DROP
+                chain.append((user["key"], user["value"]))
+                counters["nic_inserts"] += 1
+                return ReturnCode.DROP
+
+            return insert_header_handler
+
+        for idx in range(nservers):
+            sess.connect(nclients + idx, match_bits=LOAD_TAG,
+                         header_handler=make_insert_handler(idx),
+                         hpu_mem_bytes=256)
+
+        def make_request(rng: random.Random, index: int) -> dict:
+            key = f"key{rng.randrange(16 * nbuckets)}".encode()
+            node = _kv_hash(key, nservers)
+            bucket = _kv_hash(key, nbuckets, salt=b"bucket2")
+            return {
+                "target": nclients + node,
+                "nbytes": len(key) + value_bytes,
+                "match_bits": LOAD_TAG,
+                "user_hdr": {"bucket": bucket, "key": key,
+                             "value": b"v" * value_bytes},
+            }
+
+        metrics = Metrics()
+        driver = ClosedLoopDriver(
+            sess, sources=tuple(range(nclients)), clients=clients,
+            requests_per_client=requests, think_ns=think_ns,
+            target=-1, make_request=make_request, seed=seed,
+            metrics=metrics, stream="insert",
+        )
+        driver.start()
+        sess.drain()
+        driver.finalize()
+        summary = metrics.summary(elapsed_ps=sess.env.now)
+    stored = sum(len(c) for table in tables for c in table.values())
+    return {
+        "completed": summary["completed"],
+        "lost": summary["dropped"],
+        "p50_ns": summary.get("p50_ns", 0.0),
+        "p99_ns": summary.get("p99_ns", 0.0),
+        "throughput_mmps": _round2(summary.get("throughput_rps", 0.0) / 1e6),
+        "nic_inserts": counters["nic_inserts"],
+        "host_fallback": counters["host_fallback"],
+        "stored": stored,
+    }
+
+
+# ---------------------------------------------------------------------------
+# mixed_tenants
+# ---------------------------------------------------------------------------
+
+#: Tenant handler profiles, cycled over tenant index: heterogeneous work on
+#: one shared target NIC.
+TENANT_PROFILES = ("count", "scan", "echo")
+
+
+def _tenant_channel(sess: Session, target: int, tenant: int, profile: str,
+                    match_bits: int) -> None:
+    if profile == "count":
+        def count_header_handler(ctx, h):
+            ctx.charge(10)
+            ctx.state.vars["n"] = ctx.state.vars.get("n", 0) + 1
+            return ReturnCode.DROP
+
+        sess.connect(target, match_bits=match_bits, length=1 << 30,
+                     header_handler=count_header_handler, hpu_mem_bytes=256)
+    elif profile == "scan":
+        def scan_header_handler(ctx, h):
+            # Per-byte predicate work, then the default deposit path.
+            ctx.charge(10)
+            ctx.charge_per_byte(h.length, 0.5)
+            return ReturnCode.PROCEED
+
+        sess.connect(target, match_bits=match_bits, length=1 << 30,
+                     header_handler=scan_header_handler, hpu_mem_bytes=512)
+    elif profile == "echo":
+        def echo_payload_handler(ctx, p):
+            yield from ctx.put_from_device(
+                p.payload, target=ctx.message.source, match_bits=ECHO_TAG,
+                nbytes=p.payload_len,
+            )
+            return ReturnCode.SUCCESS
+
+        sess.connect(target, match_bits=match_bits, length=1 << 30,
+                     payload_handler=echo_payload_handler, hpu_mem_bytes=4096)
+    else:  # pragma: no cover - profile list is closed
+        raise ValueError(f"unknown tenant profile {profile!r}")
+
+
+@campaign_scenario(
+    "mixed_tenants",
+    params=[
+        Param("tenants", int, default=3,
+              help="channels with heterogeneous handlers on one target"),
+        Param("count", int, default=32, help="messages per tenant"),
+        Param("rate_mmps", float, default=0.5, help="offered rate per tenant"),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("seed", int, default=1),
+    ],
+    description="heterogeneous handler channels sharing one target NIC",
+    tiny={"tenants": 2, "count": 8},
+    sweep={"tenants": (2, 4, 6), "rate_mmps": (0.25, 1.0)},
+    tags=("load", "multitenancy"),
+)
+def _mixed_tenants(tenants: int, count: int, rate_mmps: float, config: str,
+                   seed: int) -> dict:
+    target = 0
+    with Session.pair(config, nodes=tenants + 1) as sess:
+        metrics = Metrics()
+        drivers = []
+        for tenant in range(tenants):
+            profile = TENANT_PROFILES[tenant % len(TENANT_PROFILES)]
+            match_bits = 100 + tenant
+            _tenant_channel(sess, target, tenant, profile, match_bits)
+            client_rank = tenant + 1
+            if profile == "echo":
+                # Echoed packets land in a sink ME on the client.
+                sess.install(client_rank, MatchEntry(match_bits=ECHO_TAG,
+                                                     length=1 << 30))
+            drivers.append(OpenLoopDriver(
+                sess, source=client_rank, target=target,
+                rate_mmps=rate_mmps, count=count,
+                size=SizeMix(sizes=(256, 2048), weights=(3.0, 1.0)),
+                match_bits=match_bits, seed=seed * 7919 + tenant,
+                metrics=metrics, stream=f"t{tenant}_{profile}",
+            ))
+        for driver in drivers:
+            driver.start()
+        sess.drain()
+        for driver in drivers:
+            driver.finalize()
+        metrics.observe_pt_drops(sess[target])
+        summary = metrics.summary(elapsed_ps=sess.env.now)
+    out = {
+        "completed": summary["completed"],
+        "lost": summary["dropped"],
+        "p50_ns": summary.get("p50_ns", 0.0),
+        "p99_ns": summary.get("p99_ns", 0.0),
+        "throughput_mmps": _round2(summary.get("throughput_rps", 0.0) / 1e6),
+        "dropped_messages": summary.get("pt_dropped_messages", 0),
+    }
+    for name in sorted(metrics.streams):
+        stats = metrics.streams[name]
+        # 0.0 = tenant completed nothing (starved/blackholed) — never
+        # report another tenant's latency in its place.
+        out[f"{name}_p99_ns"] = (stats.percentile_ns(0.99)
+                                 if stats.samples_ps else 0.0)
+    return out

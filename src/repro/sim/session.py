@@ -1,0 +1,223 @@
+"""The unified session API: declarative cluster specs + a run façade.
+
+Every scenario in this repository used to hand-wire ``Cluster`` +
+``spin_me``/``post_me`` + ``env.process(...)`` + ``env.run(...)``; a
+:class:`Session` owns that lifecycle behind the paper's three-line
+programming model:
+
+* a :class:`ClusterSpec` says *what* to simulate (node count, machine
+  config, topology, NIC flavour, tracing) — no imperative assembly;
+* :meth:`Session.connect` / :meth:`Session.install` install handler
+  channels and matching entries with **install-time validation** (limits,
+  oversized initial state, use-after-free HPU memory);
+* :meth:`Session.run` / :meth:`Session.drain` drive the DES, and the
+  session tears down installed channels on :meth:`close`.
+
+The façade adds no simulation events of its own: a session-built scenario
+pushes exactly the kernel events the hand-wired equivalent pushed, so the
+golden-trace digests and fast-path equivalence contracts are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Generator, Optional, Union
+
+from repro.core.channel import Channel, connect as _connect
+from repro.core.nic import SpinNIC
+from repro.des.engine import Environment, Event, Process
+from repro.des.trace import Timeline
+from repro.machine.cluster import Cluster, Machine
+from repro.machine.config import (
+    CROSS_POD_LATENCY_PS,
+    MachineConfig,
+    config_by_name,
+)
+from repro.machine.nic import BaselineNIC
+from repro.network.topology import FatTree, UniformLatency
+from repro.portals.matching import MatchEntry
+from repro.portals.types import PortalsError
+
+__all__ = ["ClusterSpec", "Session"]
+
+#: NIC model registry for the declarative spec.
+_NIC_FACTORIES: dict[str, Callable] = {
+    "spin": SpinNIC,
+    "baseline": BaselineNIC,
+}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative description of one simulated system.
+
+    ``topology`` selects how endpoints are wired:
+
+    * ``"pair"`` — every endpoint pair sits cross-pod (worst-case uniform
+      latency; what the microbenchmarks use);
+    * ``"fattree"`` — the §4.2 36-port fat tree sized to ``nodes``;
+    * any topology object with a ``latency(src, dst)`` method is used
+      verbatim.
+    """
+
+    nodes: int = 2
+    config: Union[MachineConfig, str] = "int"
+    nic: str = "spin"
+    topology: Any = "pair"
+    latency_ps: Optional[int] = None
+    trace: bool = False
+    with_memory: bool = False
+    noise: Any = None
+
+    def resolve_config(self) -> MachineConfig:
+        if isinstance(self.config, str):
+            return config_by_name(self.config)
+        return self.config
+
+    def build_topology(self, config: MachineConfig) -> Any:
+        if self.topology == "pair":
+            return UniformLatency(
+                latency=CROSS_POD_LATENCY_PS if self.latency_ps is None
+                else self.latency_ps
+            )
+        if self.topology == "fattree":
+            return FatTree(params=config.network, nhosts=max(self.nodes, 2))
+        return self.topology
+
+    def build(self) -> Cluster:
+        """Materialise the spec into a live :class:`Cluster`."""
+        config = self.resolve_config()
+        try:
+            nic_factory = _NIC_FACTORIES[self.nic]
+        except KeyError:
+            raise ValueError(
+                f"unknown NIC flavour {self.nic!r} "
+                f"(use {sorted(_NIC_FACTORIES)})"
+            ) from None
+        return Cluster(
+            self.nodes,
+            config=config,
+            nic_factory=nic_factory,
+            topology=self.build_topology(config),
+            noise=self.noise,
+            trace=self.trace,
+            with_memory=self.with_memory,
+        )
+
+
+class Session:
+    """A running simulation: cluster + channels + run control.
+
+    Use as a context manager for deterministic teardown, or call
+    :meth:`close` explicitly.  All helpers delegate to the underlying
+    primitives one-to-one — the session never schedules kernel events of
+    its own.
+    """
+
+    def __init__(self, spec: Optional[ClusterSpec] = None, **overrides: Any):
+        if spec is None:
+            spec = ClusterSpec(**overrides)
+        elif overrides:
+            spec = replace(spec, **overrides)
+        self.spec = spec
+        self.cluster: Cluster = spec.build()
+        self.channels: list[Channel] = []
+        self._closed = False
+
+    # -- convenience constructors -----------------------------------------
+    @classmethod
+    def pair(cls, config: Union[MachineConfig, str] = "int", nodes: int = 2,
+             **overrides: Any) -> "Session":
+        """A small all-cross-pod cluster (the microbenchmark scaffold)."""
+        return cls(ClusterSpec(nodes=nodes, config=config, **overrides))
+
+    @classmethod
+    def fattree(cls, nodes: int, config: Union[MachineConfig, str] = "dis",
+                **overrides: Any) -> "Session":
+        """An N-endpoint fat-tree cluster (the collective scaffold)."""
+        return cls(ClusterSpec(nodes=nodes, config=config,
+                               topology="fattree", **overrides))
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def env(self) -> Environment:
+        return self.cluster.env
+
+    @property
+    def timeline(self) -> Timeline:
+        return self.cluster.timeline
+
+    @property
+    def config(self) -> MachineConfig:
+        return self.cluster.config
+
+    @property
+    def now_ns(self) -> float:
+        return self.cluster.now_ns
+
+    def __len__(self) -> int:
+        return len(self.cluster)
+
+    def __getitem__(self, rank: int) -> Machine:
+        return self.cluster[rank]
+
+    def machines(self) -> list[Machine]:
+        return list(self.cluster.machines)
+
+    # -- installation (validated) -----------------------------------------
+    def install(self, rank: int, entry: MatchEntry, pt_index: int = 0,
+                overflow: bool = False) -> MatchEntry:
+        """Append a matching entry, validating handler resources first.
+
+        ``PtlMEAppend`` runs the same validation, but only after
+        ``post_me`` has already allocated the portal-table index — the
+        session validates before any side effect, so a rejected entry
+        (oversized initial state, freed
+        :class:`~repro.core.handlers.HPUMemory`) leaves the NI untouched.
+        """
+        machine = self.cluster[rank]
+        if entry.spin is not None:
+            entry.spin.validate(machine.ni.limits)
+        return machine.post_me(pt_index, entry, overflow=overflow)
+
+    def connect(self, rank: int, **kwargs: Any) -> Channel:
+        """Install a handler channel on ``rank`` (the §1 ``connect()``).
+
+        Keyword arguments are those of :func:`repro.core.channel.connect`.
+        The channel is tracked and uninstalled by :meth:`close`.
+        """
+        channel = _connect(self.cluster[rank], **kwargs)
+        self.channels.append(channel)
+        return channel
+
+    # -- run control -------------------------------------------------------
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Register a generator as a simulated process."""
+        return self.env.process(generator, name)
+
+    def run(self, until: Optional[Union[int, Event]] = None) -> Any:
+        """Run the DES (to quiescence, to a time, or to an event)."""
+        return self.env.run(until=until)
+
+    def drain(self) -> None:
+        """Run every remaining event (post-measurement cleanup traffic)."""
+        self.env.run()
+
+    # -- teardown ----------------------------------------------------------
+    def close(self) -> None:
+        """Uninstall session-tracked channels; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for channel in self.channels:
+            try:
+                channel.close()
+            except PortalsError:
+                pass  # already unlinked by scenario code
+        self.channels.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

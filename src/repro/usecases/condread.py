@@ -11,11 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, Generator
 
-import numpy as np
-
-from repro.core.api import PtlHPUAllocMem, spin_me
 from repro.core.handlers import ReturnCode
-from repro.experiments.common import pair_cluster
+from repro.experiments.common import pair_session
 from repro.machine.config import MachineConfig, config_by_name
 from repro.portals.matching import MatchEntry
 
@@ -36,13 +33,14 @@ class ConditionalReader:
             config = config_by_name(config)
         self.rows = rows
         self.row_bytes = row_bytes
-        self.cluster = pair_cluster(config, with_memory=False)
-        self.env = self.cluster.env
-        self.client, self.server = self.cluster[0], self.cluster[1]
+        self.session = pair_session(config, with_memory=False)
+        self.cluster = self.session.cluster
+        self.env = self.session.env
+        self.client, self.server = self.session[0], self.session[1]
         self.bytes_saved = 0
         self.scans_served = 0
         self._reply_ct = self.client.new_counter("scan-replies")
-        self.client.post_me(0, MatchEntry(
+        self.session.install(0, MatchEntry(
             match_bits=SCAN_REPLY_TAG, length=1 << 30, counter=self._reply_ct,
         ))
         reader = self
@@ -62,11 +60,12 @@ class ConditionalReader:
             )
             return ReturnCode.DROP
 
-        self.server.post_me(0, spin_me(
+        self.session.connect(
+            1,
             match_bits=SCAN_REQUEST_TAG,
             header_handler=scan_header_handler,
-            hpu_memory=PtlHPUAllocMem(self.server, 256),
-        ))
+            hpu_mem_bytes=256,
+        )
 
     def select(self, predicate: Callable[[dict], bool]) -> Generator:
         """Run the filtered scan; returns (matching rows, elapsed ps)."""

@@ -11,11 +11,9 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from repro.core.api import PtlHPUAllocMem, spin_me
 from repro.core.handlers import ReturnCode
-from repro.experiments.common import pair_cluster
+from repro.experiments.common import pair_session
 from repro.machine.config import MachineConfig, config_by_name
-from repro.portals.types import ANY_SOURCE
 
 __all__ = ["FaultTolerantBroadcast", "binomial_graph_peers"]
 
@@ -42,8 +40,9 @@ class FaultTolerantBroadcast:
             config = config_by_name(config)
         self.nprocs = nprocs
         self.failed = failed or set()
-        self.cluster = pair_cluster(config, nprocs=nprocs, with_memory=False)
-        self.env = self.cluster.env
+        self.session = pair_session(config, nprocs=nprocs, with_memory=False)
+        self.cluster = self.session.cluster
+        self.env = self.session.env
         self.delivered: dict[int, set[int]] = {}   # bcast id → ranks delivered
         self.duplicates_dropped = 0
         self.forwards = 0
@@ -78,12 +77,12 @@ class FaultTolerantBroadcast:
             if rank in self.failed:
                 self.cluster.fabric.detach(rank)
                 continue
-            machine = self.cluster[rank]
-            machine.post_me(0, spin_me(
-                match_bits=FTB_TAG, source=ANY_SOURCE, length=1 << 20,
+            self.session.connect(
+                rank,
+                match_bits=FTB_TAG, length=1 << 20,
                 header_handler=make_handler(rank),
-                hpu_memory=PtlHPUAllocMem(machine, 1024),
-            ))
+                hpu_mem_bytes=1024,
+            )
 
     def broadcast(self, root: int = 0, bcast_id: int = 1,
                   nbytes: int = 64) -> Generator:

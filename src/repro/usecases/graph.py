@@ -13,11 +13,9 @@ from typing import Generator
 
 import networkx as nx
 
-from repro.core.api import PtlHPUAllocMem, spin_me
 from repro.core.handlers import ReturnCode
-from repro.experiments.common import pair_cluster
+from repro.experiments.common import pair_session
 from repro.machine.config import MachineConfig, config_by_name
-from repro.portals.types import ANY_SOURCE
 
 __all__ = ["DistributedGraph"]
 
@@ -33,8 +31,9 @@ class DistributedGraph:
             config = config_by_name(config)
         self.graph = graph
         self.nparts = nparts
-        self.cluster = pair_cluster(config, nprocs=nparts, with_memory=False)
-        self.env = self.cluster.env
+        self.session = pair_session(config, nprocs=nparts, with_memory=False)
+        self.cluster = self.session.cluster
+        self.env = self.session.env
         self.dist: dict = {v: math.inf for v in graph.nodes}
         self.handler_updates = 0
         self.handler_rejects = 0
@@ -58,12 +57,12 @@ class DistributedGraph:
             return ReturnCode.DROP
 
         for part in range(nparts):
-            machine = self.cluster[part]
-            machine.post_me(0, spin_me(
-                match_bits=RELAX_TAG, source=ANY_SOURCE,
+            self.session.connect(
+                part,
+                match_bits=RELAX_TAG,
                 header_handler=relax_header_handler,
-                hpu_memory=PtlHPUAllocMem(machine, 256),
-            ))
+                hpu_mem_bytes=256,
+            )
 
     def owner(self, vertex) -> int:
         return hash(vertex) % self.nparts

@@ -15,9 +15,8 @@ from typing import Generator
 
 import numpy as np
 
-from repro.core.api import PtlHPUAllocMem, spin_me
 from repro.core.handlers import ReturnCode
-from repro.experiments.common import pair_cluster
+from repro.experiments.common import pair_session
 from repro.machine.config import MachineConfig, config_by_name
 
 __all__ = ["KVStore"]
@@ -45,8 +44,10 @@ class KVStore:
         if isinstance(config, str):
             config = config_by_name(config)
         self.nbuckets = nbuckets
-        self.cluster = pair_cluster(config, nprocs=nservers + 1, with_memory=False)
-        self.env = self.cluster.env
+        self.session = pair_session(config, nprocs=nservers + 1,
+                                    with_memory=False)
+        self.cluster = self.session.cluster
+        self.env = self.session.env
         self.client = self.cluster[0]
         self.servers = [self.cluster[i + 1] for i in range(nservers)]
         #: Python-dict shadow stores standing in for the host-memory hash
@@ -56,12 +57,13 @@ class KVStore:
         ]
         self.inserted_by_nic = 0
         self.deferred_to_host = 0
-        for idx, server in enumerate(self.servers):
-            server.post_me(0, spin_me(
+        for idx in range(nservers):
+            self.session.connect(
+                idx + 1,
                 match_bits=KV_INSERT_TAG,
                 header_handler=self._make_insert_handler(idx),
-                hpu_memory=PtlHPUAllocMem(server, 256),
-            ))
+                hpu_mem_bytes=256,
+            )
 
     def _make_insert_handler(self, server_index: int):
         store = self

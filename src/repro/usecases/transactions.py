@@ -11,11 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
-from repro.core.api import PtlHPUAllocMem, spin_me
 from repro.core.handlers import ReturnCode
-from repro.experiments.common import pair_cluster
+from repro.experiments.common import pair_session
 from repro.machine.config import MachineConfig, config_by_name
-from repro.portals.types import ANY_SOURCE
 
 __all__ = ["AccessRecord", "TransactionLog"]
 
@@ -39,10 +37,12 @@ class TransactionLog:
     def __init__(self, nclients: int = 2, config: MachineConfig | str = "int"):
         if isinstance(config, str):
             config = config_by_name(config)
-        self.cluster = pair_cluster(config, nprocs=nclients + 1, with_memory=False)
-        self.env = self.cluster.env
-        self.server = self.cluster[nclients]
-        self.clients = [self.cluster[i] for i in range(nclients)]
+        self.session = pair_session(config, nprocs=nclients + 1,
+                                    with_memory=False)
+        self.cluster = self.session.cluster
+        self.env = self.session.env
+        self.server = self.session[nclients]
+        self.clients = [self.session[i] for i in range(nclients)]
         self.log: list[AccessRecord] = []
         log = self.log
 
@@ -59,11 +59,12 @@ class TransactionLog:
             ))
             return ReturnCode.PROCEED  # the write proceeds as normal
 
-        self.server.post_me(0, spin_me(
-            match_bits=TXN_TAG, source=ANY_SOURCE, length=1 << 30,
+        self.session.connect(
+            nclients,
+            match_bits=TXN_TAG, length=1 << 30,
             header_handler=introspect_header_handler,
-            hpu_memory=PtlHPUAllocMem(self.server, 4096),
-        ))
+            hpu_mem_bytes=4096,
+        )
 
     def remote_write(self, client_index: int, offset: int, nbytes: int,
                      txn_id: int) -> Generator:

@@ -1,0 +1,35 @@
+"""`python -m repro.campaign list` covers every registered scenario."""
+
+from repro.campaign.__main__ import main
+from repro.campaign.registry import all_scenarios
+
+
+def test_list_shows_every_scenario_with_params_and_sweeps(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name, sc in all_scenarios().items():
+        assert name in out, f"scenario {name} missing from `campaign list`"
+        for p in sc.params:
+            # Each param appears with its type and default.
+            line = f"{p.name}: {p.type.__name__} = {p.default!r}"
+            assert line in out, f"{name}: param line {line!r} missing"
+            if p.choices:
+                assert f"choices={list(p.choices)}" in out
+        if sc.sweep:
+            for axis, values in sc.sweep.items():
+                assert f"{axis}={list(values)}" in out, \
+                    f"{name}: sweep axis {axis} missing"
+
+
+def test_list_brief_shows_only_names(capsys):
+    assert main(["list", "--brief"]) == 0
+    out = capsys.readouterr().out
+    assert "default sweep" not in out
+    for name in all_scenarios():
+        assert name in out
+
+
+def test_list_accepts_legacy_params_flag(capsys):
+    assert main(["list", "--params"]) == 0
+    out = capsys.readouterr().out
+    assert "default sweep" in out

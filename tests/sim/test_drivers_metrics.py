@@ -1,0 +1,215 @@
+"""Workload drivers and metrics: determinism, latency math, load shapes."""
+
+import pytest
+
+from repro.core.handlers import ReturnCode
+from repro.sim import (
+    ClosedLoopDriver,
+    LatencyStats,
+    Metrics,
+    OpenLoopDriver,
+    Session,
+    SizeMix,
+    percentile_ps,
+)
+
+TAG = 33
+
+
+def _serve_session(nodes: int = 2, target: int = 1) -> Session:
+    sess = Session.pair("int", nodes=nodes)
+
+    def header_handler(ctx, h):
+        ctx.charge(16)
+        return ReturnCode.DROP
+
+    sess.connect(target, match_bits=TAG, length=1 << 30,
+                 header_handler=header_handler)
+    return sess
+
+
+class TestPercentiles:
+    def test_nearest_rank_basics(self):
+        samples = sorted([10, 20, 30, 40, 50])
+        assert percentile_ps(samples, 0.0) == 10
+        assert percentile_ps(samples, 0.5) == 30
+        assert percentile_ps(samples, 0.99) == 50
+        assert percentile_ps(samples, 1.0) == 50
+
+    def test_single_sample(self):
+        assert percentile_ps([7], 0.5) == 7
+
+    def test_empty_and_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_ps([], 0.5)
+        with pytest.raises(ValueError):
+            percentile_ps([1], 1.5)
+
+    def test_percentiles_are_monotone(self):
+        stats = LatencyStats()
+        for latency in (5000, 1000, 9000, 3000, 7000, 2000):
+            stats.start()
+            stats.record(latency, nbytes=64)
+        summary = stats.summary(elapsed_ps=1_000_000)
+        assert summary["p50_ns"] <= summary["p99_ns"] <= summary["max_ns"]
+        assert summary["completed"] == 6
+        assert summary["bytes"] == 6 * 64
+        assert summary["throughput_rps"] == pytest.approx(6 / 1e-6)
+
+
+class TestMetrics:
+    def test_streams_and_total_rollup(self):
+        metrics = Metrics()
+        for i in range(4):
+            metrics.stream("a").start()
+            metrics.stream("a").record(1000 * (i + 1), nbytes=10)
+        metrics.stream("b").start()
+        metrics.stream("b").record(9000, nbytes=1)
+        summary = metrics.summary(elapsed_ps=1_000_000)
+        assert summary["completed"] == 5
+        assert summary["a.completed"] == 4
+        assert summary["b.max_ns"] == 9.0
+        assert summary["max_ns"] == 9.0
+
+    def test_notes_ride_along(self):
+        metrics = Metrics()
+        metrics.note("custom", 3)
+        metrics.bump("custom", 2)
+        assert metrics.summary()["custom"] == 5
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-1)
+
+
+class TestSizeMix:
+    def test_fixed_mix_is_constant(self):
+        import random
+
+        mix = SizeMix.fixed(512)
+        rng = random.Random(0)
+        assert {mix.sample(rng) for _ in range(8)} == {512}
+
+    def test_weighted_mix_is_deterministic_per_seed(self):
+        import random
+
+        mix = SizeMix(sizes=(64, 4096), weights=(3.0, 1.0))
+        draws1 = [mix.sample(random.Random(5)) for _ in range(1)]
+        draws2 = [mix.sample(random.Random(5)) for _ in range(1)]
+        assert draws1 == draws2
+        many = [mix.sample(random.Random(i)) for i in range(64)]
+        assert set(many) <= {64, 4096}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeMix(sizes=())
+        with pytest.raises(ValueError):
+            SizeMix(sizes=(64,), weights=(1.0, 2.0))
+
+
+class TestOpenLoopDriver:
+    def _run(self, seed: int = 3, count: int = 12, rate: float = 1.0):
+        sess = _serve_session()
+        metrics = Metrics()
+        OpenLoopDriver(
+            sess, source=0, target=1, rate_mmps=rate, count=count,
+            size=SizeMix(sizes=(128, 1024), weights=(1.0, 1.0)),
+            match_bits=TAG, seed=seed, metrics=metrics,
+        ).start()
+        sess.drain()
+        return metrics.summary(elapsed_ps=sess.env.now), sess.env.now
+
+    def test_all_requests_complete_and_measure(self):
+        summary, now = self._run()
+        assert summary["started"] == summary["completed"] == 12
+        assert summary["p50_ns"] <= summary["p99_ns"] <= summary["max_ns"]
+        assert now > 0
+
+    def test_same_seed_is_bit_identical(self):
+        assert self._run(seed=11) == self._run(seed=11)
+
+    def test_different_seed_changes_schedule(self):
+        assert self._run(seed=1) != self._run(seed=2)
+
+    def test_higher_offered_rate_finishes_sooner(self):
+        _, slow = self._run(rate=0.2)
+        _, fast = self._run(rate=5.0)
+        assert fast < slow
+
+    def test_invalid_parameters_rejected(self):
+        sess = _serve_session()
+        with pytest.raises(ValueError):
+            OpenLoopDriver(sess, source=0, target=1, rate_mmps=0.0, count=4)
+        with pytest.raises(ValueError):
+            OpenLoopDriver(sess, source=0, target=1, rate_mmps=1.0, count=0)
+
+    def test_finalize_reconciles_unacked_requests(self):
+        """Requests dropped at the target surface as drops, not silence."""
+        from repro.portals.matching import MatchEntry
+
+        sess = Session.pair("int")
+        # Only a non-matching ME installed: every put misses and is dropped.
+        sess.install(1, MatchEntry(match_bits=TAG + 1, length=1 << 20))
+        metrics = Metrics()
+        driver = OpenLoopDriver(
+            sess, source=0, target=1, rate_mmps=1.0, count=5,
+            size=128, match_bits=TAG, seed=3, metrics=metrics,
+        )
+        driver.start()
+        sess.drain()
+        md_count_before = len(sess[0].ni.mds)
+        assert driver.finalize() == 5
+        stats = metrics.stream("load")
+        assert stats.completed == 0 and stats.dropped == 5
+        assert stats.in_flight == 0
+        assert metrics.notes["lost_requests"] == 5
+        # The per-request MDs were unbound (no leak).
+        assert len(sess[0].ni.mds) == md_count_before - 5
+        # Idempotent: a second finalize finds nothing.
+        assert driver.finalize() == 0
+
+
+class TestClosedLoopDriver:
+    def _run(self, clients: int = 4, think_ns: float = 200.0, seed: int = 9):
+        sess = _serve_session(nodes=3, target=2)
+        metrics = Metrics()
+        ClosedLoopDriver(
+            sess, sources=(0, 1), clients=clients, requests_per_client=5,
+            think_ns=think_ns, target=2, size=256, match_bits=TAG,
+            seed=seed, metrics=metrics, per_client_streams=True,
+        ).start()
+        sess.drain()
+        return metrics, sess.env.now
+
+    def test_every_client_completes_its_requests(self):
+        metrics, _ = self._run()
+        assert len(metrics.streams) == 4
+        for stats in metrics.streams.values():
+            assert stats.completed == 5
+            assert stats.in_flight == 0
+
+    def test_closed_loop_keeps_one_request_in_flight_per_client(self):
+        """Total requests = clients * requests_per_client, none dropped."""
+        metrics, _ = self._run(clients=3)
+        total = metrics.total()
+        assert total.started == total.completed == 15
+
+    def test_deterministic_per_seed(self):
+        m1, now1 = self._run(seed=4)
+        m2, now2 = self._run(seed=4)
+        assert now1 == now2
+        assert m1.summary(now1) == m2.summary(now2)
+
+    def test_think_time_stretches_the_run(self):
+        _, busy = self._run(think_ns=0.0)
+        _, idle = self._run(think_ns=5000.0)
+        assert idle > busy
+
+    def test_invalid_parameters_rejected(self):
+        sess = _serve_session()
+        with pytest.raises(ValueError):
+            ClosedLoopDriver(sess, sources=(), clients=1,
+                             requests_per_client=1, target=1)
+        with pytest.raises(ValueError):
+            ClosedLoopDriver(sess, sources=(0,), clients=0,
+                             requests_per_client=1, target=1)

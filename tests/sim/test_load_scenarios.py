@@ -1,0 +1,102 @@
+"""The registered load scenarios: determinism, sanity, campaign contract."""
+
+import pytest
+
+from repro.campaign import all_scenarios, get_scenario, plan_grid, run_grid
+from repro.campaign.cache import DETERMINISTIC_FIELDS
+
+LOAD_SCENARIOS = ("pingpong_open_load", "kvstore_load", "mixed_tenants")
+
+
+def test_load_scenarios_are_registered_with_sweeps():
+    registered = all_scenarios()
+    for name in LOAD_SCENARIOS:
+        assert name in registered
+        sc = registered[name]
+        assert sc.sweep, f"{name} needs a default sweep grid"
+        assert sc.tiny, f"{name} needs tiny smoke params"
+        assert "load" in sc.tags
+
+
+@pytest.mark.parametrize("name", LOAD_SCENARIOS)
+def test_tiny_run_latency_percentiles_sane(name):
+    result = get_scenario(name).run(get_scenario(name).tiny)
+    assert result["completed"] > 0
+    assert 0 < result["p50_ns"] <= result["p99_ns"]
+
+
+@pytest.mark.parametrize("name", LOAD_SCENARIOS)
+def test_tiny_run_is_deterministic(name):
+    sc = get_scenario(name)
+    assert sc.run(sc.tiny) == sc.run(sc.tiny)
+
+
+def test_seed_param_changes_results():
+    sc = get_scenario("pingpong_open_load")
+    base = dict(sc.tiny)
+    r1 = sc.run({**base, "seed": 1})
+    r2 = sc.run({**base, "seed": 2})
+    assert r1 != r2  # the arrival process actually uses the seed
+
+
+def test_open_load_reaches_saturation():
+    """Past the wire's capacity the achieved rate stops tracking offered."""
+    sc = get_scenario("pingpong_open_load")
+    light = sc.run({"rate_mmps": 0.5, "count": 48})
+    heavy = sc.run({"rate_mmps": 8.0, "count": 48})
+    assert light["achieved_mmps"] <= 1.0
+    assert heavy["achieved_mmps"] < 8.0 * 0.9  # can't sustain offered load
+    assert heavy["p99_ns"] > light["p99_ns"]
+
+
+def test_kvstore_load_stores_every_insert():
+    sc = get_scenario("kvstore_load")
+    result = sc.run({"clients": 3, "requests": 6})
+    assert result["stored"] == result["completed"] == 18
+    assert result["nic_inserts"] + result["host_fallback"] == 18
+
+
+def test_kvstore_load_sharding_balances_latency():
+    """More servers must not make p99 worse under the same population."""
+    sc = get_scenario("kvstore_load")
+    one = sc.run({"nservers": 1, "clients": 8, "requests": 8, "think_ns": 0.0})
+    four = sc.run({"nservers": 4, "clients": 8, "requests": 8,
+                   "think_ns": 0.0})
+    assert four["p99_ns"] <= one["p99_ns"] * 1.10
+
+
+def test_mixed_tenants_reports_per_tenant_percentiles():
+    sc = get_scenario("mixed_tenants")
+    result = sc.run({"tenants": 3, "count": 8})
+    tenant_keys = [k for k in result if k.endswith("_p99_ns")
+                   and k not in ("p99_ns",)]
+    assert len(tenant_keys) == 3
+    for key in tenant_keys:
+        assert result[key] > 0
+
+
+def _det(record):
+    return {k: record[k] for k in DETERMINISTIC_FIELDS}
+
+
+@pytest.mark.parametrize("name,grid", [
+    ("pingpong_open_load", {"rate_mmps": (0.5, 2.0), "count": (16,)}),
+    ("kvstore_load", {"nservers": (1, 2), "clients": (2,), "requests": (4,)}),
+    ("mixed_tenants", {"tenants": (2, 3), "count": (6,)}),
+])
+def test_serial_parallel_campaign_equivalence(tmp_path, name, grid):
+    """The new load scenarios honour the campaign determinism contract."""
+    serial = run_grid(name, grid, workers=1,
+                      cache_path=tmp_path / "serial.jsonl")
+    parallel = run_grid(name, grid, workers=2,
+                        cache_path=tmp_path / "parallel.jsonl")
+    assert serial.executed == len(serial.jobs)
+    assert [_det(r) for r in serial.records] == \
+        [_det(r) for r in parallel.records]
+
+
+def test_load_scenarios_plan_under_default_sweep():
+    for name in LOAD_SCENARIOS:
+        jobs = plan_grid(name)
+        assert len(jobs) >= 4
+        assert len({j.key for j in jobs}) == len(jobs)
