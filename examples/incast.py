@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Incast on the congestion-aware fabric: watch a link actually fill.
+
+The default LogGP fabric is a contention-free pipe — an N-to-1 fan-in
+never queues inside the network, so its tail latency barely moves with N.
+Opting into ``ClusterSpec(fabric="congestion")`` gives every packet a
+routed path with per-link FIFO queues and tail-drop; the shared ingress
+port in front of the target serializes the fan-in, queues build, p99
+climbs, and past the buffer depth packets start dropping — the regime
+where in-network handler processing is actually stressed (PsPIN's
+congested-arrival evaluation).
+
+Run:  python examples/incast.py
+"""
+
+from repro.portals.matching import MatchEntry
+from repro.sim import ClusterSpec, Metrics, OpenLoopDriver, Session
+
+TAG = 40
+
+
+def incast(fanin: int, fabric: str, depth: int = 64) -> dict:
+    """Drive ``fanin`` senders at one sink; return latency + link stats."""
+    spec = ClusterSpec(nodes=fanin + 1, config="int", fabric=fabric,
+                       link_queue_depth=depth)
+    with Session(spec) as sess:
+        target = fanin
+        sess.install(target, MatchEntry(match_bits=TAG, length=1 << 30))
+        metrics = Metrics()
+        drivers = [
+            OpenLoopDriver(sess, source=source, target=target, rate_mmps=4.0,
+                           count=24, size=4096, match_bits=TAG,
+                           seed=source + 1, metrics=metrics, stream="incast")
+            for source in range(fanin)
+        ]
+        for driver in drivers:
+            driver.start()
+        sess.drain()
+        for driver in drivers:
+            driver.finalize()
+        metrics.observe_fabric(sess.cluster.fabric, elapsed_ps=sess.env.now)
+        return metrics.summary(elapsed_ps=sess.env.now)
+
+
+def main() -> None:
+    print("N->1 incast, 4 KiB puts at 4 Mmps per sender "
+          "(per-port buffer: 64 packets)\n")
+    print(f"{'fanin':>5} | {'loggp p99':>10} | {'congestion p99':>14} "
+          f"| {'max queue':>9} | {'drops':>5} | {'link util':>9}")
+    print("-" * 68)
+    for fanin in (2, 4, 8, 16):
+        base = incast(fanin, "loggp")
+        cong = incast(fanin, "congestion")
+        print(f"{fanin:>5} | {base['p99_ns']:>8.0f}ns | "
+              f"{cong['p99_ns']:>12.0f}ns | "
+              f"{cong['fabric_max_link_queue']:>9} | "
+              f"{cong['fabric_link_drops']:>5} | "
+              f"{cong['fabric_max_link_utilization']:>9.2f}")
+    print("\nThe LogGP pipe only sees endpoint contention; the congestion")
+    print("fabric exposes the shared ingress port: queue depth and p99 grow")
+    print("with fan-in until tail-drop caps the queue.")
+
+    # The flip side, pinned by the test suite: a single uncontended flow
+    # completes at identical times on both fabrics.
+    one_loggp = incast(1, "loggp")
+    one_cong = incast(1, "congestion")
+    assert one_loggp["p99_ns"] == one_cong["p99_ns"]
+    print(f"\nSingle flow, both fabrics: p99 = {one_cong['p99_ns']:.0f} ns "
+          "(exact LogGP reduction)")
+
+
+if __name__ == "__main__":
+    main()

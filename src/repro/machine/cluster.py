@@ -16,6 +16,7 @@ from repro.machine.config import MachineConfig, discrete_config
 from repro.machine.dma import DMAEngine
 from repro.machine.host import HostCPU, HostMemory
 from repro.machine.nic import BaselineNIC
+from repro.network.congestion import CongestionFabric
 from repro.network.fabric import Fabric
 from repro.network.packets import Message, reset_msg_ids
 from repro.network.topology import FatTree
@@ -25,7 +26,15 @@ from repro.portals.limits import NILimits
 from repro.portals.matching import MatchEntry
 from repro.portals.ni import MemoryDescriptor, NetworkInterface
 
-__all__ = ["Cluster", "Machine"]
+__all__ = ["Cluster", "FABRIC_FLAVOURS", "Machine"]
+
+#: Fabric model registry: flavour name → fabric class.  ``"loggp"`` is the
+#: contention-free pipe the paper assumes (full bisection, endpoint-only
+#: contention); ``"congestion"`` adds routed paths and per-link queues.
+FABRIC_FLAVOURS = {
+    "loggp": Fabric,
+    "congestion": CongestionFabric,
+}
 
 
 class Machine:
@@ -168,6 +177,7 @@ class Cluster:
         noise: Any = None,
         trace: bool = False,
         with_memory: bool = True,
+        fabric: str = "loggp",
     ):
         self.config = config or discrete_config()
         reset_msg_ids()  # fresh id space: traces are run-to-run identical
@@ -176,7 +186,14 @@ class Cluster:
         if topology is None:
             topology = FatTree(params=self.config.network, nhosts=max(nprocs, 2))
         self.topology = topology
-        self.fabric = Fabric(
+        try:
+            fabric_cls = FABRIC_FLAVOURS[fabric]
+        except KeyError:
+            raise ValueError(
+                f"unknown fabric flavour {fabric!r} "
+                f"(use {sorted(FABRIC_FLAVOURS)})"
+            ) from None
+        self.fabric = fabric_cls(
             self.env, topology, self.config.network, timeline=self.timeline
         )
         self.machines = [

@@ -96,6 +96,11 @@ class MachineConfig:
     def with_host(self, **kwargs) -> "MachineConfig":
         return replace(self, host=replace(self.host, **kwargs))
 
+    def with_network(self, **kwargs) -> "MachineConfig":
+        """Copy with some :class:`NetworkParams` fields replaced (radix,
+        link queue depth, routing policy, switch/wire delays)."""
+        return replace(self, network=replace(self.network, **kwargs))
+
 
 #: Cross-pod endpoint latency in the 36-port fat tree (5 switches +
 #: 6 wires): the worst-case pair the microbenchmarks use.

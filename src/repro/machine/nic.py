@@ -137,7 +137,13 @@ class _RxChain:
                 )
                 return
         else:
-            self.state = state = nic._rx[msg.msg_id]
+            self.state = state = nic._rx.get(msg.msg_id)
+            if state is None:
+                # Unknown flow: the header packet was lost in the network
+                # (congestion tail-drop), so there is no channel to deposit
+                # into — drop the packet, as real NICs do.
+                nic.rx_orphan_packets += 1
+                return
             mode = state.extra.get("mode", "baseline")
             if mode == "process":
                 # sPIN payload handlers: the dispatch itself is yield-free
@@ -307,6 +313,9 @@ class BaselineNIC:
         self.fast_rx = _fast_rx_default()
         self.messages_received = 0
         self.messages_sent = 0
+        #: Non-header packets with no rx state (their header packet was
+        #: dropped upstream by the congestion fabric).
+        self.rx_orphan_packets = 0
 
     # ------------------------------------------------------------------ RX --
     def on_packet(self, pkt: Packet) -> None:
@@ -334,7 +343,12 @@ class BaselineNIC:
             start = self.env.now
             yield from self.match_unit.serve(self.params.cam_lookup_ps)
             self.timeline.record(self.rank, "NIC", start, self.env.now, "cam")
-            state = self._rx[msg.msg_id]
+            state = self._rx.get(msg.msg_id)
+            if state is None:
+                # Unknown flow (header lost to congestion tail-drop): no
+                # channel to deposit into — drop, as real NICs do.
+                self.rx_orphan_packets += 1
+                return
 
         yield from self._rx_tail(state, pkt)
 

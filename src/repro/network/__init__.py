@@ -15,12 +15,15 @@ from repro.network.loggp import LogGPParams, NetworkParams
 from repro.network.packets import Message, Packet, packetize, reassemble
 from repro.network.topology import FatTree, UniformLatency
 from repro.network.fabric import Fabric
+from repro.network.congestion import CongestionFabric, Link
 from repro.network.noise import FixedFrequencyNoise, NoNoise
 
 __all__ = [
+    "CongestionFabric",
     "Fabric",
     "FatTree",
     "FixedFrequencyNoise",
+    "Link",
     "LogGPParams",
     "Message",
     "NetworkParams",

@@ -124,7 +124,7 @@ class _TxChain:
                 self.src, "NIC-tx", self.pkt_start, now,
                 f"m{self.message.msg_id}p{pkt.seq}",
             )
-        env.schedule_callback(self.latency, partial(fabric._deliver, pkt))
+        fabric._dispatch(pkt, self.latency)
         self.idx = idx = idx + 1
         if idx == len(self.packets):
             self.done.succeed(now)
@@ -153,6 +153,9 @@ class Fabric:
         self._wire: dict[int, Server] = {}
         self.packets_delivered = 0
         self.messages_injected = 0
+        #: Packets that reached a destination with no attached rx entry
+        #: point (the node was detached mid-flight, e.g. failure injection).
+        self.packets_dropped = 0
 
     # -- attachment ----------------------------------------------------------
     def attach(self, nid: int, rx_callback: Callable[[Packet], None]) -> None:
@@ -213,12 +216,21 @@ class Fabric:
                     src, "NIC-tx", start, env._now,
                     f"m{message.msg_id}p{pkt.seq}",
                 )
-            env.schedule_callback(latency, partial(self._deliver, pkt))
+            self._dispatch(pkt, latency)
         return env.now
+
+    def _dispatch(self, pkt: Packet, latency: int) -> None:
+        """Forward one serialized packet toward its destination.
+
+        The LogGP model teleports it across the topology latency; the
+        congestion fabric overrides this with a routed per-link walk.
+        """
+        self.env.schedule_callback(latency, partial(self._deliver, pkt))
 
     def _deliver(self, pkt: Packet) -> None:
         rx = self._rx.get(pkt.message.target)
         if rx is None:
+            self.packets_dropped += 1
             return  # destination detached (failed node): packet lost
         self.packets_delivered += 1
         rx(pkt)

@@ -18,7 +18,12 @@ from dataclasses import dataclass, replace
 
 from repro.des.engine import ns
 
-__all__ = ["LogGPParams", "NetworkParams"]
+__all__ = ["LogGPParams", "NetworkParams", "ROUTING_POLICIES"]
+
+#: Deterministic path-selection policies the congestion fabric supports
+#: (see :mod:`repro.network.routing`): ``"ecmp"`` hashes (src, dst,
+#: msg_id); ``"dmodk"`` is destination-deterministic.
+ROUTING_POLICIES = ("ecmp", "dmodk")
 
 
 @dataclass(frozen=True)
@@ -99,16 +104,34 @@ class NetworkParams:
     The latency model is a packet-switched network: each traversed switch
     costs ``switch_delay_ps`` and each wire (hop count + 1 wires between two
     hosts) costs ``wire_delay_ps`` (10 m of cable, 33.4 ns).
+
+    ``link_queue_depth`` and ``routing`` only matter on the congestion
+    fabric (:class:`repro.network.congestion.CongestionFabric`): the number
+    of packets a directional link port buffers before tail-dropping, and
+    the deterministic path-selection policy over the fat tree (``"ecmp"``
+    hashes (src, dst, msg_id); ``"dmodk"`` is destination-deterministic).
+    The default LogGP fabric ignores both.
     """
 
     loggp: LogGPParams = LogGPParams()
     switch_delay_ps: int = ns(50)
     wire_delay_ps: int = ns(33.4)
     switch_radix: int = 36
+    link_queue_depth: int = 64
+    routing: str = "ecmp"
 
     def __post_init__(self) -> None:
         if self.switch_radix < 2 or self.switch_radix % 2:
             raise ValueError("switch radix must be an even integer >= 2")
+        if self.link_queue_depth < 1:
+            raise ValueError(
+                f"link_queue_depth must be >= 1, got {self.link_queue_depth}"
+            )
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.routing!r} "
+                f"(use {ROUTING_POLICIES})"
+            )
 
     def latency_for_hops(self, nswitches: int) -> int:
         """End-to-end wire+switch latency for a path through n switches."""

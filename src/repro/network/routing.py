@@ -1,0 +1,125 @@
+"""Deterministic routed paths over the simulated topologies.
+
+The congestion fabric needs an explicit *path* — the sequence of switches a
+packet traverses — where the LogGP fabric only needs the end-to-end latency.
+This module computes those paths:
+
+* :func:`fattree_path` walks the 3-level k-ary fat tree of
+  :class:`~repro.network.topology.FatTree`, choosing among the redundant
+  upward paths either by a deterministic hash of ``(src, dst, msg_id)``
+  (``"ecmp"`` — per-message multipath, the common datacenter default) or by
+  destination arithmetic (``"dmodk"`` — every flow toward one destination
+  takes the same core, which keeps permutation traffic collision-free but
+  concentrates incast);
+* :func:`crossbar_path` models any latency-only topology
+  (:class:`~repro.network.topology.UniformLatency`, custom objects) as a
+  non-blocking crossbar with one egress port per source and one ingress
+  port per destination — the ingress port is where incast contention lives.
+
+Paths are lists of hashable graph nodes in the same vocabulary as
+:meth:`FatTree.build_graph` — ``("host", i)``, ``("edge", e)``,
+``("agg", pod, a)``, ``("core", c)`` — plus ``("xbar", 0)`` for the
+crossbar, so tests can validate every consecutive pair against the
+networkx edge set.
+
+All selection is pure arithmetic on the inputs (no RNG, no process state):
+the same ``(src, dst, msg_id)`` yields the same path in every run, every
+worker process, and every host — the property the campaign determinism
+contract relies on.
+"""
+
+from __future__ import annotations
+
+from repro.network.loggp import ROUTING_POLICIES
+from repro.network.topology import FatTree
+
+__all__ = ["ROUTING_POLICIES", "crossbar_path", "fattree_path", "hash_choice"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a strong, portable 64-bit integer mixer."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def hash_choice(nchoices: int, src: int, dst: int, msg_id: int,
+                salt: int = 0) -> int:
+    """Deterministic ECMP selector: hash ``(src, dst, msg_id)`` to a choice.
+
+    Pure arithmetic — identical across runs, processes, and hosts (unlike
+    Python's builtin ``hash``, which is salted per process).
+    """
+    if nchoices <= 1:
+        return 0
+    key = (src * 0x9E3779B97F4A7C15
+           + dst * 0xC2B2AE3D27D4EB4F
+           + msg_id * 0xD6E8FEB86659FD93
+           + salt * 0xA5A5A5A5A5A5A5A5)
+    return _mix64(key) % nchoices
+
+
+def fattree_path(tree: FatTree, src: int, dst: int, msg_id: int,
+                 routing: str = "ecmp") -> list[tuple]:
+    """Switch-level path from host ``src`` to host ``dst``.
+
+    Returns the node sequence ``[("host", src), ..., ("host", dst)]``
+    (empty for loopback).  The switch count always matches
+    :meth:`FatTree.switch_hops`; only the *choice* among equal-cost paths
+    depends on ``routing``:
+
+    * ``"ecmp"`` — hash of ``(src, dst, msg_id)`` picks the aggregation
+      (same-pod) or core (cross-pod) switch per message;
+    * ``"dmodk"`` — destination arithmetic picks it (``dst mod`` the
+      choice count), so all traffic toward one host shares one up-path.
+    """
+    if routing not in ROUTING_POLICIES:
+        raise ValueError(
+            f"unknown routing policy {routing!r} (use {ROUTING_POLICIES})"
+        )
+    if src == dst:
+        return []
+    half_k = tree.radix // 2
+    edge_s = tree.edge_switch_of(src)
+    edge_d = tree.edge_switch_of(dst)
+    if edge_s == edge_d:
+        return [("host", src), ("edge", edge_s), ("host", dst)]
+    pod_s = tree.pod_of(src)
+    pod_d = tree.pod_of(dst)
+    if pod_s == pod_d:
+        if routing == "ecmp":
+            agg = hash_choice(half_k, src, dst, msg_id)
+        else:
+            agg = dst % half_k
+        return [
+            ("host", src), ("edge", edge_s), ("agg", pod_s, agg),
+            ("edge", edge_d), ("host", dst),
+        ]
+    # Cross-pod: the core switch determines the aggregation level in both
+    # pods (core a*(k/2)+c attaches to agg index a of every pod — the same
+    # wiring build_graph materializes).
+    ncores = half_k * half_k
+    if routing == "ecmp":
+        core = hash_choice(ncores, src, dst, msg_id)
+    else:
+        core = dst % ncores
+    agg = core // half_k
+    return [
+        ("host", src), ("edge", edge_s), ("agg", pod_s, agg), ("core", core),
+        ("agg", pod_d, agg), ("edge", edge_d), ("host", dst),
+    ]
+
+
+def crossbar_path(src: int, dst: int) -> list[tuple]:
+    """Path through the abstract crossbar for latency-only topologies.
+
+    Two directional links — source egress into the crossbar, crossbar into
+    destination ingress — so N-to-1 traffic still contends on the one
+    ingress port even when the topology models no switch structure.
+    """
+    if src == dst:
+        return []
+    return [("host", src), ("xbar", 0), ("host", dst)]

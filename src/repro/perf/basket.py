@@ -1,13 +1,15 @@
 """The perf basket: fixed scenario mixes whose throughput we track per PR.
 
-Four baskets cover the simulator's load profiles:
+Five baskets cover the simulator's load profiles:
 
 * **small-message** — message-rate-bound pingpongs (64 B), every protocol;
 * **large-message** — bandwidth-bound 64 KiB pingpongs (16 packets/msg),
   the fabric serialization pipeline dominates;
 * **storage-trace** — SPC-style trace replay over the RAID cluster, both
   RDMA and sPIN protocols (deep pipelines, heavy contention);
-* **app-scale** — full-application trace matching at 16 ranks.
+* **app-scale** — full-application trace matching at 16 ranks;
+* **congestion** — incast and permutation mixes on the congestion fabric
+  (per-link routed walks dominate; added with the fabric in PR 4).
 
 ``run_baskets`` executes each basket under a :class:`KernelMeter` and
 reports wall seconds, kernel events, and events/sec.  ``python -m
@@ -71,6 +73,19 @@ def _app_scale(scale: int) -> None:
         matching_speedup(gen(nprocs=16, iters=scale), eager_threshold=16384)
 
 
+def _congestion(scale: int) -> None:
+    from repro.campaign.registry import get_scenario
+
+    incast = get_scenario("incast_load")
+    permutation = get_scenario("permutation_traffic")
+    for _ in range(scale):
+        incast.run({"fanin": 8, "count": 16, "seed": 3})
+        permutation.run({"nhosts": 16, "shift": 4, "count": 8,
+                         "routing": "ecmp", "seed": 3})
+        permutation.run({"nhosts": 16, "shift": 4, "count": 8,
+                         "routing": "dmodk", "seed": 3})
+
+
 #: name -> (workload fn taking a scale factor, full-run scale, tiny scale)
 #: Tiny scales are sized so each measurement window is tens of ms at least;
 #: shorter windows make events/sec hostage to a single scheduler preemption.
@@ -79,6 +94,7 @@ BASKETS: dict[str, tuple[Callable[[int], None], int, int]] = {
     "large-message": (_large_message, 60, 2),
     "storage-trace": (_storage_trace, 12, 2),
     "app-scale": (_app_scale, 6, 1),
+    "congestion": (_congestion, 12, 1),
 }
 
 

@@ -115,6 +115,25 @@ class Metrics:
         self.bump(f"{prefix}_dropped_messages", pt.dropped_messages)
         self.bump(f"{prefix}_dropped_bytes", pt.dropped_bytes)
 
+    def observe_fabric(self, fabric, prefix: str = "fabric",
+                       elapsed_ps: Optional[int] = None) -> None:
+        """Snapshot a fabric's loss/occupancy accounting into notes.
+
+        Works on any :class:`~repro.network.fabric.Fabric` (delivery and
+        detached-destination drop counters); a congestion fabric
+        additionally reports per-port aggregates — total tail-drops, the
+        deepest link queue observed, and the peak link utilization.
+        """
+        self.note(f"{prefix}_packets_delivered", fabric.packets_delivered)
+        self.note(f"{prefix}_packets_dropped", fabric.packets_dropped)
+        if hasattr(fabric, "links"):  # congestion flavour
+            self.note(f"{prefix}_link_drops", fabric.total_link_drops())
+            self.note(f"{prefix}_max_link_queue", fabric.max_link_queue())
+            self.note(
+                f"{prefix}_max_link_utilization",
+                round(fabric.max_link_utilization(elapsed_ps), 4),
+            )
+
     def total(self) -> LatencyStats:
         """Merged view across every stream (fresh object, order-stable)."""
         merged = LatencyStats()

@@ -12,6 +12,18 @@ cache, and parallelise like every other scenario.
   echo tenants) sharing one target NIC, each under its own open-loop
   driver, reported per tenant.
 
+The congestion-fabric family (``fabric="congestion"``: routed paths,
+per-link queues, tail-drop — :mod:`repro.network.congestion`) exercises
+regimes the LogGP pipe cannot:
+
+* ``incast_load`` — N→1 fan-in onto one ingress port: p99 latency and
+  queue occupancy vs. fan-in degree;
+* ``permutation_traffic`` — all-to-all shift patterns on a small fat
+  tree: ECMP hash collisions vs. d-mod-k determinism on the core links;
+* ``congested_tenants`` — the mixed-tenant channels with every tenant's
+  traffic squeezed through one shared core link (d-mod-k pins all flows
+  toward one destination to the same core).
+
 Every scenario draws randomness only from ``random.Random(seed)`` handed
 to the drivers, so results are bit-identical under the serial and
 multi-worker campaign executors.
@@ -24,10 +36,12 @@ import random
 
 from repro.campaign.registry import Param, scenario as campaign_scenario
 from repro.core.handlers import ReturnCode
+from repro.machine.config import config_by_name
+from repro.network.loggp import ROUTING_POLICIES
 from repro.portals.matching import MatchEntry
 from repro.sim.drivers import ClosedLoopDriver, OpenLoopDriver, SizeMix
 from repro.sim.metrics import Metrics
-from repro.sim.session import Session
+from repro.sim.session import ClusterSpec, Session
 
 __all__ = ["LOAD_TAG", "ECHO_TAG"]
 
@@ -299,6 +313,216 @@ def _mixed_tenants(tenants: int, count: int, rate_mmps: float, config: str,
         stats = metrics.streams[name]
         # 0.0 = tenant completed nothing (starved/blackholed) — never
         # report another tenant's latency in its place.
+        out[f"{name}_p99_ns"] = (stats.percentile_ns(0.99)
+                                 if stats.samples_ps else 0.0)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# congestion-fabric scenarios
+# ---------------------------------------------------------------------------
+
+def _fabric_notes(summary: dict) -> dict:
+    """The link-accounting scalars ``Metrics.observe_fabric`` contributed."""
+    return {
+        "link_drops": int(summary.get("fabric_link_drops", 0)),
+        "max_link_queue": int(summary.get("fabric_max_link_queue", 0)),
+        "max_link_utilization": summary.get("fabric_max_link_utilization", 0.0),
+    }
+
+
+def _core_link_stats(fabric) -> dict:
+    """Occupancy aggregates over the fat tree's core-level links."""
+    max_queue = drops = used = 0
+    for (u, v), link in fabric.links.items():
+        if u[0] != "core" and v[0] != "core":
+            continue
+        used += 1
+        drops += link.drops
+        if link.max_queue > max_queue:
+            max_queue = link.max_queue
+    return {"core_links_used": used, "core_max_queue": max_queue,
+            "core_drops": drops}
+
+
+@campaign_scenario(
+    "incast_load",
+    params=[
+        Param("fanin", int, default=8, help="number of concurrent senders"),
+        Param("count", int, default=32, help="messages per sender"),
+        Param("size", int, default=4096, help="message size in bytes"),
+        Param("rate_mmps", float, default=4.0,
+              help="offered rate per sender, million messages/second"),
+        Param("depth", int, default=64,
+              help="per-link queue depth before tail-drop (packets)"),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("seed", int, default=1),
+    ],
+    description="N-to-1 fan-in on the congestion fabric: p99 vs fan-in degree",
+    tiny={"fanin": 2, "count": 6},
+    sweep={"fanin": (2, 4, 8, 16)},
+    tags=("load", "congestion"),
+)
+def _incast_load(fanin: int, count: int, size: int, rate_mmps: float,
+                 depth: int, config: str, seed: int) -> dict:
+    target = fanin
+    spec = ClusterSpec(nodes=fanin + 1, config=config, fabric="congestion",
+                       link_queue_depth=depth)
+    with Session(spec) as sess:
+        sess.install(target, MatchEntry(match_bits=LOAD_TAG, length=1 << 30))
+        metrics = Metrics()
+        drivers = [
+            OpenLoopDriver(
+                sess, source=source, target=target, rate_mmps=rate_mmps,
+                count=count, size=size, match_bits=LOAD_TAG,
+                seed=seed * 6151 + source, metrics=metrics, stream="incast",
+            )
+            for source in range(fanin)
+        ]
+        for driver in drivers:
+            driver.start()
+        sess.drain()
+        for driver in drivers:
+            driver.finalize()
+        metrics.observe_fabric(sess.cluster.fabric, elapsed_ps=sess.env.now)
+        summary = metrics.summary(elapsed_ps=sess.env.now)
+    return {
+        "fanin": fanin,
+        "completed": summary["completed"],
+        "lost": summary["dropped"],
+        "achieved_mmps": _round2(summary.get("throughput_rps", 0.0) / 1e6),
+        "p50_ns": summary.get("p50_ns", 0.0),
+        "p99_ns": summary.get("p99_ns", 0.0),
+        "max_ns": summary.get("max_ns", 0.0),
+        **_fabric_notes(summary),
+    }
+
+
+@campaign_scenario(
+    "permutation_traffic",
+    params=[
+        Param("nhosts", int, default=16, help="hosts on the fat tree"),
+        Param("shift", int, default=4,
+              help="host i sends to (i+shift) mod nhosts"),
+        Param("count", int, default=16, help="messages per host"),
+        Param("size", int, default=16384),
+        Param("rate_mmps", float, default=1.0, help="offered rate per host"),
+        Param("routing", str, default="ecmp", choices=ROUTING_POLICIES),
+        Param("radix", int, default=4, help="fat-tree switch radix"),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("seed", int, default=1),
+    ],
+    description="all-to-all shift pattern vs. ECMP collisions on a fat tree",
+    tiny={"nhosts": 8, "count": 4},
+    sweep={"shift": (1, 4), "routing": ("ecmp", "dmodk")},
+    tags=("load", "congestion"),
+)
+def _permutation_traffic(nhosts: int, shift: int, count: int, size: int,
+                         rate_mmps: float, routing: str, radix: int,
+                         config: str, seed: int) -> dict:
+    machine_config = config_by_name(config).with_network(switch_radix=radix)
+    spec = ClusterSpec(nodes=nhosts, config=machine_config, topology="fattree",
+                       fabric="congestion", routing=routing)
+    with Session(spec) as sess:
+        metrics = Metrics()
+        drivers = []
+        for host in range(nhosts):
+            sess.install(host, MatchEntry(match_bits=LOAD_TAG, length=1 << 30))
+        for host in range(nhosts):
+            drivers.append(OpenLoopDriver(
+                sess, source=host, target=(host + shift) % nhosts,
+                rate_mmps=rate_mmps, count=count, size=size,
+                match_bits=LOAD_TAG, seed=seed * 6151 + host,
+                metrics=metrics, stream="perm",
+            ))
+        for driver in drivers:
+            driver.start()
+        sess.drain()
+        for driver in drivers:
+            driver.finalize()
+        metrics.observe_fabric(sess.cluster.fabric, elapsed_ps=sess.env.now)
+        summary = metrics.summary(elapsed_ps=sess.env.now)
+        core = _core_link_stats(sess.cluster.fabric)
+    return {
+        "shift": shift,
+        "routing": routing,
+        "completed": summary["completed"],
+        "lost": summary["dropped"],
+        "p50_ns": summary.get("p50_ns", 0.0),
+        "p99_ns": summary.get("p99_ns", 0.0),
+        "throughput_mmps": _round2(summary.get("throughput_rps", 0.0) / 1e6),
+        **core,
+        **_fabric_notes(summary),
+    }
+
+
+@campaign_scenario(
+    "congested_tenants",
+    params=[
+        Param("tenants", int, default=3,
+              help="handler channels on one cross-pod target"),
+        Param("count", int, default=24, help="messages per tenant"),
+        Param("rate_mmps", float, default=1.5, help="offered rate per tenant"),
+        Param("depth", int, default=64,
+              help="per-link queue depth before tail-drop (packets)"),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("seed", int, default=1),
+    ],
+    description="mixed tenants squeezed through one shared fat-tree core link",
+    tiny={"tenants": 2, "count": 6},
+    sweep={"tenants": (2, 4, 6), "rate_mmps": (0.5, 1.5)},
+    tags=("load", "congestion", "multitenancy"),
+)
+def _congested_tenants(tenants: int, count: int, rate_mmps: float, depth: int,
+                       config: str, seed: int) -> dict:
+    # Radix-4 tree: 4 hosts per pod.  The target sits in pod 0; every
+    # tenant's client lives in another pod, and d-mod-k routing pins all
+    # traffic toward the target to a single core switch — the shared link.
+    radix = 4
+    hosts_per_pod = (radix // 2) ** 2
+    target = 0
+    machine_config = config_by_name(config).with_network(switch_radix=radix)
+    spec = ClusterSpec(nodes=hosts_per_pod + tenants, config=machine_config,
+                       topology="fattree", fabric="congestion",
+                       routing="dmodk", link_queue_depth=depth)
+    with Session(spec) as sess:
+        metrics = Metrics()
+        drivers = []
+        for tenant in range(tenants):
+            profile = TENANT_PROFILES[tenant % len(TENANT_PROFILES)]
+            match_bits = 100 + tenant
+            _tenant_channel(sess, target, tenant, profile, match_bits)
+            client_rank = hosts_per_pod + tenant
+            if profile == "echo":
+                sess.install(client_rank, MatchEntry(match_bits=ECHO_TAG,
+                                                     length=1 << 30))
+            drivers.append(OpenLoopDriver(
+                sess, source=client_rank, target=target,
+                rate_mmps=rate_mmps, count=count,
+                size=SizeMix(sizes=(4096, 16384), weights=(1.0, 1.0)),
+                match_bits=match_bits, seed=seed * 7919 + tenant,
+                metrics=metrics, stream=f"t{tenant}_{profile}",
+            ))
+        for driver in drivers:
+            driver.start()
+        sess.drain()
+        for driver in drivers:
+            driver.finalize()
+        metrics.observe_pt_drops(sess[target])
+        metrics.observe_fabric(sess.cluster.fabric, elapsed_ps=sess.env.now)
+        summary = metrics.summary(elapsed_ps=sess.env.now)
+        core = _core_link_stats(sess.cluster.fabric)
+    out = {
+        "completed": summary["completed"],
+        "lost": summary["dropped"],
+        "p50_ns": summary.get("p50_ns", 0.0),
+        "p99_ns": summary.get("p99_ns", 0.0),
+        "throughput_mmps": _round2(summary.get("throughput_rps", 0.0) / 1e6),
+        **core,
+        **_fabric_notes(summary),
+    }
+    for name in sorted(metrics.streams):
+        stats = metrics.streams[name]
         out[f"{name}_p99_ns"] = (stats.percentile_ns(0.99)
                                  if stats.samples_ps else 0.0)
     return out

@@ -58,6 +58,14 @@ class ClusterSpec:
     * ``"fattree"`` — the §4.2 36-port fat tree sized to ``nodes``;
     * any topology object with a ``latency(src, dst)`` method is used
       verbatim.
+
+    ``fabric`` selects the transport model: ``"loggp"`` (default — the
+    paper's contention-free pipe; all golden traces run here) or
+    ``"congestion"`` (routed paths + per-link queues, see
+    :mod:`repro.network.congestion`).  ``link_queue_depth`` and ``routing``
+    override the matching :class:`~repro.network.loggp.NetworkParams`
+    fields without hand-building a :class:`MachineConfig`; both only
+    matter on the congestion fabric.
     """
 
     nodes: int = 2
@@ -68,11 +76,19 @@ class ClusterSpec:
     trace: bool = False
     with_memory: bool = False
     noise: Any = None
+    fabric: str = "loggp"
+    link_queue_depth: Optional[int] = None
+    routing: Optional[str] = None
 
     def resolve_config(self) -> MachineConfig:
-        if isinstance(self.config, str):
-            return config_by_name(self.config)
-        return self.config
+        config = (config_by_name(self.config) if isinstance(self.config, str)
+                  else self.config)
+        overrides = {}
+        if self.link_queue_depth is not None:
+            overrides["link_queue_depth"] = self.link_queue_depth
+        if self.routing is not None:
+            overrides["routing"] = self.routing
+        return config.with_network(**overrides) if overrides else config
 
     def build_topology(self, config: MachineConfig) -> Any:
         if self.topology == "pair":
@@ -102,6 +118,7 @@ class ClusterSpec:
             noise=self.noise,
             trace=self.trace,
             with_memory=self.with_memory,
+            fabric=self.fabric,
         )
 
 

@@ -112,6 +112,27 @@ class TestErrorsAndEdge:
         env.run()
         assert rx == []
         assert fabric.packets_delivered == 0
+        assert fabric.packets_dropped == 1
+
+    def test_detach_drop_accounting_per_packet(self):
+        """Regression: detached-node losses used to vanish without a
+        counter — every undeliverable packet must be accounted."""
+        env = Environment()
+        fabric = make_fabric(env, mtu=1024)
+        fabric.attach(0, lambda p: None)
+        collect_rx(fabric, 1)
+        fabric.inject(Message(source=0, target=1, length=4096))
+        # Detach mid-flight: all 4 packets are already on the wire.
+        fabric.detach(1)
+        env.run()
+        assert fabric.packets_dropped == 4
+        assert fabric.packets_delivered == 0
+        # A healthy destination afterwards is unaffected.
+        collect_rx(fabric, 2)
+        fabric.inject(Message(source=0, target=2, length=4096))
+        env.run()
+        assert fabric.packets_delivered == 4
+        assert fabric.packets_dropped == 4
 
     def test_counters(self):
         env = Environment()
@@ -183,4 +204,5 @@ class TestDetachLeaks:
         env.run()
         assert seen == []
         assert fabric.packets_delivered == 0
+        assert fabric.packets_dropped == 2
         assert 1 not in fabric._wire and 1 not in fabric._msg_limiter

@@ -1,0 +1,117 @@
+"""Deterministic routed-path selection over the fat tree and crossbar."""
+
+import pytest
+
+from repro.network.loggp import NetworkParams
+from repro.network.routing import (
+    ROUTING_POLICIES,
+    crossbar_path,
+    fattree_path,
+    hash_choice,
+)
+from repro.network.topology import FatTree
+
+
+def tree(radix=4, nhosts=16):
+    return FatTree(params=NetworkParams(switch_radix=radix), nhosts=nhosts)
+
+
+def switches_on(path):
+    return [node for node in path if node[0] != "host"]
+
+
+class TestPathStructure:
+    def test_loopback_is_empty(self):
+        assert fattree_path(tree(), 3, 3, msg_id=0) == []
+        assert crossbar_path(5, 5) == []
+
+    def test_endpoints_and_switch_count_match_arithmetic(self):
+        t = tree()
+        for src in range(t.nhosts):
+            for dst in range(t.nhosts):
+                if src == dst:
+                    continue
+                for msg_id in (0, 1, 17):
+                    path = fattree_path(t, src, dst, msg_id)
+                    assert path[0] == ("host", src)
+                    assert path[-1] == ("host", dst)
+                    assert len(switches_on(path)) == t.switch_hops(src, dst)
+
+    def test_every_hop_is_a_real_fattree_edge(self):
+        """Cross-validate arithmetic paths against the networkx wiring."""
+        t = tree()
+        graph = t.build_graph()
+        for src in range(t.nhosts):
+            for dst in range(t.nhosts):
+                if src == dst:
+                    continue
+                for msg_id in range(8):
+                    path = fattree_path(t, src, dst, msg_id)
+                    for u, v in zip(path, path[1:]):
+                        assert graph.has_edge(u, v), (src, dst, msg_id, u, v)
+
+    def test_crossbar_path_shape(self):
+        assert crossbar_path(2, 7) == [("host", 2), ("xbar", 0), ("host", 7)]
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError):
+            fattree_path(tree(), 0, 5, 0, routing="valiant")
+
+
+class TestDeterminism:
+    def test_same_inputs_same_path(self):
+        """Same (src, dst, msg_id) → the same path, run after run."""
+        t = tree()
+        for routing in ROUTING_POLICIES:
+            paths = [
+                fattree_path(t, 1, 14, msg_id=42, routing=routing)
+                for _ in range(5)
+            ]
+            assert all(p == paths[0] for p in paths)
+
+    def test_hash_choice_is_pure_and_in_range(self):
+        seen = {hash_choice(8, 3, 5, m) for m in range(256)}
+        assert seen == {hash_choice(8, 3, 5, m) for m in range(256)}
+        assert seen <= set(range(8))
+        # ECMP actually spreads over several choices.
+        assert len(seen) > 4
+
+    def test_ecmp_varies_with_msg_id(self):
+        t = tree()
+        paths = {tuple(fattree_path(t, 0, 15, m)) for m in range(64)}
+        assert len(paths) > 1  # multipath actually used
+        # ... but all are valid minimal paths between the same endpoints.
+        for p in paths:
+            assert p[0] == ("host", 0) and p[-1] == ("host", 15)
+            assert len(switches_on(list(p))) == 5
+
+    def test_dmodk_ignores_msg_id(self):
+        t = tree()
+        paths = {
+            tuple(fattree_path(t, 0, 15, m, routing="dmodk"))
+            for m in range(64)
+        }
+        assert len(paths) == 1
+
+    def test_dmodk_pins_all_sources_to_one_core(self):
+        """Every flow toward one destination shares the same core switch —
+        the property congested_tenants uses to build a shared bottleneck."""
+        t = tree()
+        dst = 2
+        cores = set()
+        for src in range(4, 16):  # all hosts outside dst's pod
+            path = fattree_path(t, src, dst, msg_id=src * 7, routing="dmodk")
+            cores.update(node for node in path if node[0] == "core")
+        assert len(cores) == 1
+
+    def test_cross_pod_core_agg_consistency(self):
+        """The chosen core must attach to the chosen agg level in both pods
+        (core a*(k/2)+c wires to agg index a everywhere)."""
+        t = tree()
+        half_k = t.radix // 2
+        for msg_id in range(32):
+            path = fattree_path(t, 0, 15, msg_id)
+            aggs = [n for n in path if n[0] == "agg"]
+            core = next(n for n in path if n[0] == "core")
+            assert len(aggs) == 2
+            assert aggs[0][2] == aggs[1][2] == core[1] // half_k

@@ -48,8 +48,10 @@ class TestKernelMeter:
 
 class TestBasket:
     def test_basket_names_fixed(self):
+        # Append-only: existing entries must never change or reorder.
         assert list(BASKETS) == [
             "small-message", "large-message", "storage-trace", "app-scale",
+            "congestion",
         ]
 
     def test_tiny_run_produces_document(self):
