@@ -9,13 +9,21 @@ The grid sweeps go through the campaign layer (:mod:`repro.campaign`):
 figures plan their parameter grids, the executor runs them (``workers``
 fans out over processes, and a ``cache_path`` makes regeneration
 incremental), and the tables are assembled from the returned records.
+
+Every grid figure also accepts ``shard="i/K"`` (or a
+:class:`~repro.campaign.shard.ShardSpec`): the sweep then executes only
+that deterministic slice of its jobs — the multi-host recipe is one
+shard per host into per-shard caches, ``python -m repro.campaign merge``,
+then the figure unsharded over the merged cache (which executes nothing).
+A sharded call returns a progress stub instead of the figure, since the
+table needs every grid point.
 """
 
 from __future__ import annotations
 
 from repro.bench.harness import Table
 from repro.bench import paper_data
-from repro.campaign import run_grid, run_points
+from repro.campaign import as_shard, run_grid, run_points
 from repro.des.trace import render_timeline
 from repro.experiments import (
     accumulate_completion_ns,
@@ -44,8 +52,21 @@ __all__ = [
 _PP_SIZES = (8, 64, 512, 4096, 32_768, 262_144)
 
 
+def _shard_stub(res, title: str, shard) -> Table:
+    """What a sharded figure run returns: progress, not a partial table."""
+    table = Table(
+        title=f"{title} [shard {as_shard(shard)}]",
+        columns=["shard_jobs", "executed", "cached"],
+    )
+    table.add(shard_jobs=len(res.jobs), executed=res.executed,
+              cached=res.cached)
+    table.note("sharded sweep: results are cached, not tabulated — run "
+               "`campaign merge`, then regenerate the figure unsharded")
+    return table
+
+
 def fig3_pingpong(config: str = "int", full: bool = False,
-                  workers: int = 1, cache_path=None) -> Table:
+                  workers: int = 1, cache_path=None, shard=None) -> Table:
     """Fig 3b (int) / 3c (dis): ping-pong half-RTT in microseconds."""
     sizes = _PP_SIZES if not full else tuple(2**k for k in range(2, 19))
     modes = ("rdma", "p4", "spin_store", "spin_stream")
@@ -55,7 +76,9 @@ def fig3_pingpong(config: str = "int", full: bool = False,
     )
     res = run_grid("pingpong", {"size": sizes, "mode": modes},
                    overrides={"config": config},
-                   workers=workers, cache_path=cache_path)
+                   workers=workers, cache_path=cache_path, shard=shard)
+    if shard is not None:
+        return _shard_stub(res, table.title, shard)
     ref = paper_data.FIG3_SMALL_MSG_NS[config]
     for size in sizes:
         row = {
@@ -155,7 +178,7 @@ def ablate_eager_threshold(full: bool = False) -> Table:
 
 
 def fig3d_accumulate(full: bool = False, workers: int = 1,
-                     cache_path=None) -> Table:
+                     cache_path=None, shard=None) -> Table:
     """Fig 3d: remote accumulate completion time (us), both NIC types."""
     sizes = (8, 512, 4096, 32_768, 262_144) if not full else tuple(
         2**k for k in range(3, 19)
@@ -166,7 +189,9 @@ def fig3d_accumulate(full: bool = False, workers: int = 1,
     )
     res = run_grid("accumulate", {"size": sizes, "mode": ("rdma", "spin"),
                                   "config": ("int", "dis")},
-                   workers=workers, cache_path=cache_path)
+                   workers=workers, cache_path=cache_path, shard=shard)
+    if shard is not None:
+        return _shard_stub(res, table.title, shard)
     for size in sizes:
         table.add(
             size_B=size,
@@ -182,7 +207,8 @@ def fig3d_accumulate(full: bool = False, workers: int = 1,
     return table
 
 
-def fig4_hpus(full: bool = False, workers: int = 1, cache_path=None) -> Table:
+def fig4_hpus(full: bool = False, workers: int = 1, cache_path=None,
+              shard=None) -> Table:
     """Fig 4: HPUs needed for line rate vs packet size and handler time."""
     sizes = (16, 64, 128, 335, 512, 1024, 2048, 4096)
     table = Table(
@@ -191,7 +217,9 @@ def fig4_hpus(full: bool = False, workers: int = 1, cache_path=None) -> Table:
     )
     res = run_grid("linerate", {"packet_bytes": sizes,
                                 "handler_ns": (100.0, 200.0, 500.0, 1000.0)},
-                   workers=workers, cache_path=cache_path)
+                   workers=workers, cache_path=cache_path, shard=shard)
+    if shard is not None:
+        return _shard_stub(res, table.title, shard)
     for s in sizes:
         table.add(
             packet_B=s,
@@ -212,7 +240,7 @@ def fig4_hpus(full: bool = False, workers: int = 1, cache_path=None) -> Table:
 
 
 def fig5a_broadcast(config: str = "dis", full: bool = False,
-                    workers: int = 1, cache_path=None) -> Table:
+                    workers: int = 1, cache_path=None, shard=None) -> Table:
     """Fig 5a: binomial broadcast latency (us) vs process count."""
     procs = (4, 16, 64, 256) if not full else (4, 16, 64, 256, 1024)
     table = Table(
@@ -223,7 +251,9 @@ def fig5a_broadcast(config: str = "dis", full: bool = False,
     res = run_grid("broadcast", {"procs": procs, "size": (8, 1 << 16),
                                  "mode": ("rdma", "p4", "spin")},
                    overrides={"config": config},
-                   workers=workers, cache_path=cache_path)
+                   workers=workers, cache_path=cache_path, shard=shard)
+    if shard is not None:
+        return _shard_stub(res, table.title, shard)
     for p in procs:
         table.add(
             procs=p,
@@ -280,7 +310,7 @@ def fig5b_timelines() -> str:
 
 
 def tab5c_apps(nprocs: int = 16, iters: int = 3, full: bool = False,
-               workers: int = 1, cache_path=None) -> Table:
+               workers: int = 1, cache_path=None, shard=None) -> Table:
     """Table 5c: full-application speedups from offloaded matching."""
     from repro.apps import APP_TRACES
 
@@ -292,7 +322,9 @@ def tab5c_apps(nprocs: int = 16, iters: int = 3, full: bool = False,
     )
     res = run_grid("apps_matching", {"app": tuple(APP_TRACES)},
                    overrides={"nprocs": nprocs, "iters": iters},
-                   workers=workers, cache_path=cache_path)
+                   workers=workers, cache_path=cache_path, shard=shard)
+    if shard is not None:
+        return _shard_stub(res, table.title, shard)
     for name, (gen, p_procs, p_ovhd, p_spd) in APP_TRACES.items():
         row = res.lookup(app=name)
         table.add(
@@ -307,7 +339,7 @@ def tab5c_apps(nprocs: int = 16, iters: int = 3, full: bool = False,
 
 
 def fig7a_datatype(full: bool = False, workers: int = 1,
-                   cache_path=None) -> Table:
+                   cache_path=None, shard=None) -> Table:
     """Fig 7a: 4 MiB strided receive, completion time and bandwidth."""
     message = 4 << 20
     blocks = (256, 1024, 4096, 32_768, 262_144) if not full else tuple(
@@ -320,7 +352,9 @@ def fig7a_datatype(full: bool = False, workers: int = 1,
     res = run_grid("datatype_recv", {"blocksize": blocks,
                                      "mode": ("rdma", "spin")},
                    overrides={"message": message, "config": "int"},
-                   workers=workers, cache_path=cache_path)
+                   workers=workers, cache_path=cache_path, shard=shard)
+    if shard is not None:
+        return _shard_stub(res, table.title, shard)
     for b in blocks:
         rdma = res.lookup(blocksize=b, mode="rdma")
         spin = res.lookup(blocksize=b, mode="spin")
@@ -361,7 +395,8 @@ def fig7b_timeline() -> str:
     return "\n".join(out)
 
 
-def fig7c_raid(full: bool = False, workers: int = 1, cache_path=None) -> Table:
+def fig7c_raid(full: bool = False, workers: int = 1, cache_path=None,
+               shard=None) -> Table:
     """Fig 7c: RAID-5 update completion time (us)."""
     sizes = (64, 4096, 32_768, 262_144) if not full else tuple(
         2**k for k in range(2, 19)
@@ -372,7 +407,9 @@ def fig7c_raid(full: bool = False, workers: int = 1, cache_path=None) -> Table:
     )
     res = run_grid("raid_update", {"size": sizes, "mode": ("rdma", "spin"),
                                    "config": ("int", "dis")},
-                   workers=workers, cache_path=cache_path)
+                   workers=workers, cache_path=cache_path, shard=shard)
+    if shard is not None:
+        return _shard_stub(res, table.title, shard)
     for size in sizes:
         table.add(
             size_B=size,
@@ -386,7 +423,8 @@ def fig7c_raid(full: bool = False, workers: int = 1, cache_path=None) -> Table:
     return table
 
 
-def spc_traces(full: bool = False, workers: int = 1, cache_path=None) -> Table:
+def spc_traces(full: bool = False, workers: int = 1, cache_path=None,
+               shard=None) -> Table:
     """§5.3: SPC trace replay — processing-time improvement."""
     nops = 120 if full else 40
     table = Table(
@@ -409,7 +447,9 @@ def spc_traces(full: bool = False, workers: int = 1, cache_path=None) -> Table:
         for mode in ("rdma", "spin")
     ]
     res = run_points("spc_replay", points, workers=workers,
-                     cache_path=cache_path)
+                     cache_path=cache_path, shard=shard)
+    if shard is not None:
+        return _shard_stub(res, table.title, shard)
     for name, family, seed in traces:
         for config in ("int", "dis"):
             rdma = res.lookup(family=family, trace_seed=seed, config=config,

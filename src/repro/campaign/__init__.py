@@ -10,9 +10,10 @@ Layers
 ------
 ``registry``   scenario registration + typed parameter spaces
 ``planner``    grid/point expansion → :class:`~repro.campaign.planner.Job`
+``shard``      deterministic round-robin slices of one sweep (multi-host)
 ``executor``   serial / multiprocessing execution with per-job seeding
-``cache``      append-only JSONL result store (resumable campaigns)
-``__main__``   ``python -m repro.campaign`` CLI (list / run / sweep / resume)
+``cache``      append-only JSONL result store + cross-run index + merge
+``__main__``   CLI (list / run / sweep / resume / merge / index / perf)
 
 Quick start::
 
@@ -23,7 +24,12 @@ Quick start::
         print(rec["params"], rec["result"])
 """
 
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import (
+    CacheConflictError,
+    CacheIndex,
+    ResultCache,
+    merge_caches,
+)
 from repro.campaign.executor import (
     CampaignResult,
     run_grid,
@@ -32,6 +38,7 @@ from repro.campaign.executor import (
     run_points,
 )
 from repro.campaign.planner import Job, plan_grid, plan_points
+from repro.campaign.shard import ShardSpec, as_shard, shard_cache_name
 from repro.campaign.registry import (
     Param,
     Scenario,
@@ -44,16 +51,21 @@ from repro.campaign.registry import (
 from repro.campaign.version import code_version
 
 __all__ = [
+    "CacheConflictError",
+    "CacheIndex",
     "CampaignResult",
     "Job",
     "Param",
     "ResultCache",
     "Scenario",
     "ScenarioError",
+    "ShardSpec",
     "all_scenarios",
+    "as_shard",
     "code_version",
     "get_scenario",
     "load_builtins",
+    "merge_caches",
     "plan_grid",
     "plan_points",
     "run_grid",
@@ -61,4 +73,5 @@ __all__ = [
     "run_one",
     "run_points",
     "scenario",
+    "shard_cache_name",
 ]

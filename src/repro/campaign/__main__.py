@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro.campaign`` — list / run / sweep / resume.
+"""CLI: ``python -m repro.campaign`` — list/run/sweep/resume/merge/index.
 
 Examples::
 
@@ -7,10 +7,17 @@ Examples::
     python -m repro.campaign run accumulate -p size=4096 -p mode=spin
     python -m repro.campaign sweep pingpong --workers 4
     python -m repro.campaign sweep broadcast -g procs=4,16 -g size=8,65536
+    python -m repro.campaign sweep pingpong --shard 0/3   # one host of three
     python -m repro.campaign resume --workers 8
+    python -m repro.campaign merge                        # fold shard files
+    python -m repro.campaign index --stats
 
 Sweeps record a manifest next to the result cache, so ``resume`` replays
 every known sweep; jobs whose results are already cached execute nothing.
+``--shard i/K`` (zero-based) runs one deterministic slice of a sweep into
+its own ``results.shard-i-of-K.jsonl``; ``merge`` folds the shard files
+(and any legacy ``results.jsonl``) into the canonical cache, and
+``index`` inspects or rebuilds the cross-run record index.
 """
 
 from __future__ import annotations
@@ -20,9 +27,18 @@ import json
 import sys
 from pathlib import Path
 
+from repro.campaign.cache import (
+    INDEX_NAME,
+    CacheConflictError,
+    CacheIndex,
+    ResultCache,
+    merge_caches,
+)
 from repro.campaign.executor import run_grid, run_jobs
 from repro.campaign.planner import plan_grid, plan_points
 from repro.campaign.registry import ScenarioError, all_scenarios, get_scenario
+from repro.campaign.shard import ShardSpec, shard_cache_name
+from repro.campaign.version import code_version
 
 DEFAULT_CAMPAIGN_DIR = Path(".campaign")
 
@@ -33,6 +49,31 @@ def _cache_path(args) -> Path:
 
 def _manifest_path(args) -> Path:
     return Path(args.campaign_dir) / "manifests.jsonl"
+
+
+def _parse_shard(args) -> ShardSpec | None:
+    text = getattr(args, "shard", None)
+    if not text:
+        return None
+    try:
+        return ShardSpec.parse(text)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _shard_caches(args) -> tuple[ShardSpec | None, Path, tuple[Path, ...]]:
+    """Resolve (shard, write-cache, read-only caches) for sweep/resume.
+
+    A sharded run writes its own ``results.shard-i-of-K.jsonl`` so K
+    hosts never contend on one file, but still *reads* the canonical
+    cache — after a ``merge``, re-running any shard executes nothing.
+    """
+    shard = _parse_shard(args)
+    canonical = _cache_path(args)
+    if shard is None:
+        return None, canonical, ()
+    shard_path = canonical.parent / shard_cache_name(shard)
+    return shard, shard_path, (canonical,)
 
 
 def _parse_kv(pairs: list[str], what: str) -> dict:
@@ -151,14 +192,25 @@ def cmd_sweep(args) -> int:
     if not grid:
         raise SystemExit(f"scenario {args.scenario!r} has no default sweep; "
                          f"pass -g axis=v1,v2")
+    # Canonical axis order (manifests round-trip through sorted-key JSON):
+    # `sweep --shard` and `resume --shard` must slice the same job order.
+    grid = dict(sorted(grid.items()))
+    if args.no_cache and args.shard:
+        raise SystemExit("error: --shard requires the cache "
+                         "(a shard's only output is its cache file)")
+    shard, cache, read_caches = _shard_caches(args)
     # Validate the grid BEFORE recording the manifest — a typo'd axis must
     # not poison future `resume` runs.
     jobs = plan_grid(args.scenario, grid, base_seed=args.seed)
-    cache = None if args.no_cache else _cache_path(args)
-    if cache is not None:
+    if args.no_cache:
+        cache, read_caches = None, ()
+    else:
         _record_manifest(args, args.scenario, grid)
     res = run_jobs(jobs, workers=args.workers, cache_path=cache,
-                   progress=print if args.verbose else None)
+                   progress=print if args.verbose else None,
+                   shard=shard, read_caches=read_caches)
+    if shard is not None:
+        print(f"shard {shard} of {len(jobs)} planned jobs:")
     _print_records(res)
     return 0
 
@@ -168,6 +220,7 @@ def cmd_resume(args) -> int:
     if not path.exists():
         print(f"no manifests at {path}; nothing to resume")
         return 1
+    shard, cache, read_caches = _shard_caches(args)
     manifests: dict[tuple, dict] = {}
     with path.open() as fh:
         for line in fh:
@@ -182,9 +235,10 @@ def cmd_resume(args) -> int:
             continue
         try:
             res = run_grid(m["scenario"], m["grid"], workers=args.workers,
-                           cache_path=_cache_path(args),
+                           cache_path=cache, read_caches=read_caches,
                            base_seed=m.get("base_seed", 0),
-                           progress=print if args.verbose else None)
+                           progress=print if args.verbose else None,
+                           shard=shard)
         except ScenarioError as exc:
             # One stale/broken manifest must not block the others.
             print(f"{m['scenario']}: skipped ({exc})", file=sys.stderr)
@@ -196,6 +250,76 @@ def cmd_resume(args) -> int:
     print(f"resume total: {total_exec} executed, {total_cached} cached"
           + (f", {failures} manifests skipped" if failures else ""))
     return 1 if failures else 0
+
+
+def _campaign_cache_files(args) -> list[Path]:
+    """The canonical cache plus any shard files, in a stable order."""
+    directory = Path(args.campaign_dir)
+    canonical = _cache_path(args)
+    files = [canonical] if canonical.exists() else []
+    files += sorted(directory.glob("results.shard-*-of-*.jsonl"))
+    return files
+
+
+def cmd_merge(args) -> int:
+    canonical = _cache_path(args)
+    sources = _campaign_cache_files(args)
+    if not sources:
+        print(f"no caches under {args.campaign_dir}; nothing to merge")
+        return 1
+    shard_files = [p for p in sources if p != canonical]
+    try:
+        report = merge_caches(sources, canonical)
+    except CacheConflictError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for name in sorted(report["per_file"]):
+        print(f"  {name}: {report['per_file'][name]} records")
+    if not args.keep_shards:
+        for path in shard_files:
+            path.unlink()
+            # Drop the deleted file's index entries with it.
+            ResultCache(path).rebuild_index()
+    print(f"merged {len(report['per_file'])} files -> {report['dest']} "
+          f"({report['records']} records, "
+          f"{report['conflicts_checked']} cross-file keys verified"
+          + (", shard files removed)" if shard_files and not args.keep_shards
+             else ")"))
+    return 0
+
+
+def cmd_index(args) -> int:
+    directory = Path(args.campaign_dir)
+    index = CacheIndex(directory / INDEX_NAME)
+    files = _campaign_cache_files(args)
+    if args.rebuild:
+        for path in files:
+            n = ResultCache(path).rebuild_index()
+            print(f"  rebuilt {path.name}: {n} live records")
+    if not files:
+        print(f"no caches under {directory}")
+        return 0 if args.rebuild else 1
+    # Hit rates come from an instrumented load of each cache file.
+    for path in files:
+        cache = ResultCache(path)
+        cache.load()
+        s = cache.last_load_stats
+        # Hit rate = lines the index handled (resolved by seek OR skipped
+        # unparsed as superseded) over all lines considered.
+        handled = s["indexed"] + s["skipped"]
+        total_lines = handled + s["scanned"]
+        hit = handled / total_lines if total_lines else 1.0
+        print(f"  {path.name}: {s['records']} records, "
+              f"{s['indexed']} via index, {s['skipped']} skipped unparsed, "
+              f"{s['scanned']} scanned, hit rate {hit:.0%}"
+              + (" [FULL SCAN]" if s["full_scan"] else ""))
+    stats = index.stats(current_version=code_version())
+    stale = sum(stats["stale_code_versions"].values())
+    print(f"index: {stats['entries']} entries, {stats['live_records']} live, "
+          f"{stats['superseded']} superseded, {stale} stale-code-version"
+          + (f" {dict(sorted(stats['stale_code_versions'].items()))}"
+             if stale else ""))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -258,6 +382,10 @@ def main(argv=None) -> int:
     p_sweep.add_argument("-g", "--grid", action="append", default=[],
                          metavar="AXIS=V1,V2,...")
     p_sweep.add_argument("-w", "--workers", type=int, default=1)
+    p_sweep.add_argument("--shard", default=None, metavar="I/K",
+                         help="run only shard I of K (zero-based, "
+                              "round-robin over the planned jobs) into "
+                              "results.shard-I-of-K.jsonl")
     p_sweep.add_argument("--no-cache", action="store_true")
     p_sweep.set_defaults(fn=cmd_sweep)
 
@@ -266,7 +394,29 @@ def main(argv=None) -> int:
                                    "finished jobs)")
     p_resume.add_argument("scenario", nargs="?", default=None)
     p_resume.add_argument("-w", "--workers", type=int, default=1)
+    p_resume.add_argument("--shard", default=None, metavar="I/K",
+                          help="replay only shard I of K of every manifest")
     p_resume.set_defaults(fn=cmd_resume)
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="fold shard caches (and legacy results.jsonl) into the "
+             "canonical cache; key conflicts with differing deterministic "
+             "views are hard errors")
+    p_merge.add_argument("--keep-shards", action="store_true",
+                         help="leave results.shard-*.jsonl files in place "
+                              "after folding them in")
+    p_merge.set_defaults(fn=cmd_merge)
+
+    p_index = sub.add_parser(
+        "index",
+        help="inspect or rebuild the cross-run cache index (index.jsonl)")
+    p_index.add_argument("--stats", action="store_true",
+                         help="(default; kept for symmetry) print per-file "
+                              "hit rates and stale code-version counts")
+    p_index.add_argument("--rebuild", action="store_true",
+                         help="re-derive index entries from the cache files")
+    p_index.set_defaults(fn=cmd_index)
 
     args = parser.parse_args(argv)
     try:

@@ -25,6 +25,7 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 from repro.campaign.cache import ResultCache
 from repro.campaign.planner import Job, plan_grid, plan_points
 from repro.campaign.registry import get_scenario
+from repro.campaign.shard import ShardSpec, as_shard
 from repro.campaign.version import code_version
 
 __all__ = ["CampaignResult", "run_grid", "run_jobs", "run_one", "run_points"]
@@ -107,12 +108,35 @@ def run_jobs(
     workers: int = 1,
     cache_path: Optional[str | Path] = None,
     progress: Optional[Callable[[str], None]] = None,
+    shard: Optional[ShardSpec | str] = None,
+    read_caches: Sequence[str | Path] = (),
 ) -> CampaignResult:
-    """Execute jobs, consulting/filling the cache; returns ordered records."""
+    """Execute jobs, consulting/filling the cache; returns ordered records.
+
+    ``shard`` (a :class:`ShardSpec` or ``"i/K"`` string) restricts the run
+    to one deterministic round-robin slice of the planned job list — the
+    planner's stable total order makes the K slices disjoint and their
+    union exactly the serial sweep.  ``read_caches`` are consulted (but
+    never written) before ``cache_path``; a sharded host passes the
+    canonical merged cache here so already-merged jobs execute nothing.
+    """
     t_start = time.perf_counter()
     version = code_version()
+    shard_spec = as_shard(shard)
+    jobs = list(jobs)
+    if shard_spec is not None:
+        if cache_path is None:
+            # A sharded run exists to fill a cache for `merge`; without
+            # one its results would be computed and thrown away.
+            raise ValueError(
+                f"sharded run ({shard_spec}) requires a cache_path")
+        jobs = shard_spec.select(jobs)
     cache = ResultCache(cache_path) if cache_path is not None else None
-    known = cache.load() if cache is not None else {}
+    known: dict[str, dict] = {}
+    for extra in read_caches:
+        known.update(ResultCache(extra).load())
+    if cache is not None:
+        known.update(cache.load())
 
     by_key: dict[str, dict] = {}
     pending: list[Job] = []
@@ -170,11 +194,13 @@ def run_grid(
     base_seed: int = 0,
     overrides: Optional[Mapping[str, Any]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    shard: Optional[ShardSpec | str] = None,
+    read_caches: Sequence[str | Path] = (),
 ) -> CampaignResult:
     """Plan a grid sweep and execute it (the main campaign entry point)."""
     jobs = plan_grid(scenario, grid, base_seed=base_seed, overrides=overrides)
     return run_jobs(jobs, workers=workers, cache_path=cache_path,
-                    progress=progress)
+                    progress=progress, shard=shard, read_caches=read_caches)
 
 
 def run_points(
@@ -184,11 +210,13 @@ def run_points(
     cache_path: Optional[str | Path] = None,
     base_seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    shard: Optional[ShardSpec | str] = None,
+    read_caches: Sequence[str | Path] = (),
 ) -> CampaignResult:
     """Plan and execute an explicit list of parameter points."""
     jobs = plan_points(scenario, points, base_seed=base_seed)
     return run_jobs(jobs, workers=workers, cache_path=cache_path,
-                    progress=progress)
+                    progress=progress, shard=shard, read_caches=read_caches)
 
 
 def run_one(

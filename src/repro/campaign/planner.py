@@ -6,6 +6,14 @@ point of its parameter space, with a seed derived deterministically from
 same randomness regardless of worker count or execution order, and a cache
 key derived from ``(scenario, params, code_version)`` so results survive
 process restarts but invalidate when the code changes.
+
+Both planners guarantee a **stable total order** over their jobs —
+:func:`plan_grid` expands the cartesian product with the last axis
+fastest (deterministic for a given grid mapping), :func:`plan_points`
+keeps the caller's point order.  That order is the contract
+:mod:`repro.campaign.shard` slices: shard ``i`` of ``K`` takes jobs with
+index ``i (mod K)``, so K hosts planning the same sweep partition it
+identically without coordinating.
 """
 
 from __future__ import annotations

@@ -1,0 +1,75 @@
+"""Deterministic job sharding: split one sweep across hosts.
+
+A shard is one of ``K`` disjoint slices of a planned job list, selected
+round-robin by job index (``i % K == shard``), so heterogeneous parameter
+points — a sweep axis where one end is 100x slower than the other — spread
+evenly over the shards instead of one host drawing every slow point.
+
+Sharding changes *which* jobs a host runs, never *what* a job is: per-job
+seeds and cache keys come from the planner and are untouched, so the union
+of ``K`` shard runs is byte-equivalent (via
+:meth:`~repro.campaign.cache.ResultCache.deterministic_view`) to one
+serial run of the same sweep.  The only requirement is the planner's
+stable total order, which :func:`~repro.campaign.planner.plan_grid` and
+:func:`~repro.campaign.planner.plan_points` already guarantee — grid
+expansion is a deterministic cartesian product, point lists keep their
+given order.
+
+``--shard i/K`` on the CLI uses zero-based indices: a three-host sweep is
+``--shard 0/3``, ``--shard 1/3``, ``--shard 2/3``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+__all__ = ["ShardSpec", "as_shard", "shard_cache_name"]
+
+_SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice of a sharded sweep: shard ``index`` of ``count`` total."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index {self.index} outside [0, {self.count})"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse ``"i/K"`` (zero-based: ``0/3``, ``1/3``, ``2/3``)."""
+        m = _SHARD_RE.match(text.strip())
+        if m is None:
+            raise ValueError(
+                f"bad shard spec {text!r}: expected I/K, e.g. 0/3"
+            )
+        return cls(index=int(m.group(1)), count=int(m.group(2)))
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+    def select(self, jobs: Sequence) -> list:
+        """This shard's slice of ``jobs`` (round-robin by job index)."""
+        return [job for i, job in enumerate(jobs) if i % self.count == self.index]
+
+
+def as_shard(spec: Union[ShardSpec, str, None]) -> Optional[ShardSpec]:
+    """Coerce a CLI string / ShardSpec / None into an Optional[ShardSpec]."""
+    if spec is None or isinstance(spec, ShardSpec):
+        return spec
+    return ShardSpec.parse(spec)
+
+
+def shard_cache_name(shard: ShardSpec, base: str = "results") -> str:
+    """The per-shard result file name (``results.shard-1-of-3.jsonl``)."""
+    return f"{base}.shard-{shard.index}-of-{shard.count}.jsonl"

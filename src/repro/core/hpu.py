@@ -9,13 +9,38 @@ packets are dropped (§3.2).
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 from repro.des.engine import Environment
 from repro.des.resources import Store
 from repro.des.trace import Timeline
 
 __all__ = ["HPUPool"]
+
+
+class _CheckedOutStore(Store):
+    """Free-id queue that records which ids have been handed out.
+
+    Both handoff paths mark the id as checked out: a ``get`` served from
+    the queue, and a ``put`` handed straight to a waiting getter.  This is
+    the tracking :meth:`HPUPool.release` validates against, and it works
+    for the inlined ``_free.get()`` on the ``SpinNIC`` hot path too —
+    the bookkeeping lives at the store boundary, not in ``acquire``.
+    """
+
+    def __init__(self, env: Environment, checked_out: set):
+        super().__init__(env)
+        self._checked_out = checked_out
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._checked_out.add(item)
+        super().put(item)
+
+    def get(self):
+        if self._items:
+            self._checked_out.add(self._items[0])
+        return super().get()
 
 
 class HPUPool:
@@ -34,7 +59,9 @@ class HPUPool:
         self.count = count
         self.rank = rank
         self.timeline = timeline or Timeline(enabled=False)
-        self._free = Store(env)
+        #: Ids currently held by a handler (acquired, not yet released).
+        self._checked_out: set[int] = set()
+        self._free = _CheckedOutStore(env, self._checked_out)
         for i in range(count):
             self._free.put(i)
         self._waiting = 0
@@ -49,6 +76,11 @@ class HPUPool:
     @property
     def idle(self) -> int:
         return len(self._free)
+
+    @property
+    def outstanding(self) -> frozenset[int]:
+        """Ids currently checked out to a running handler."""
+        return frozenset(self._checked_out)
 
     def acquire(self) -> Generator[object, object, int]:
         """Wait for a free HPU; returns its index.
@@ -66,6 +98,14 @@ class HPUPool:
     def release(self, hpu_id: int) -> None:
         if not 0 <= hpu_id < self.count:
             raise ValueError(f"bad HPU id {hpu_id}")
+        if hpu_id not in self._checked_out:
+            # A double release would put a duplicate id in the free queue:
+            # two handlers "running" on one HPU, utilization above 1.0.
+            raise ValueError(f"HPU {hpu_id} is not checked out "
+                             f"(double release?)")
+        # Discard before put: a put handed straight to a waiter checks the
+        # id right back out.
+        self._checked_out.discard(hpu_id)
         self._free.put(hpu_id)
 
     def record(self, hpu_id: int, start: int, end: int, label: str) -> None:

@@ -317,6 +317,38 @@ class BaselineNIC:
         #: dropped upstream by the congestion fabric).
         self.rx_orphan_packets = 0
 
+    @property
+    def pending_rx(self) -> int:
+        """In-flight receiver message states (``_MessageRx`` entries)."""
+        return len(self._rx)
+
+    @property
+    def rx_stalled_messages(self) -> int:
+        """Messages whose remaining payload can never arrive.
+
+        A message whose header was matched but whose payload packets were
+        tail-dropped by the congestion fabric stays incomplete forever —
+        no retransmission in this model.  While the simulation is running
+        an incomplete state may still be fed; once the DES has quiesced,
+        every incomplete state counts here (and leaks unless reaped).
+        """
+        return sum(1 for state in self._rx.values() if not state.finished)
+
+    def reap_stalled(self) -> int:
+        """Drop rx states that never finished; returns how many.
+
+        Call after the DES has drained: the silence is definitive, so the
+        per-message state (match result, pending DMA events, payload
+        buffers) is unreachable bookkeeping — exactly the leak this
+        repairs.  Finished states are mid-completion continuations and are
+        left alone.
+        """
+        stalled = [msg_id for msg_id, state in self._rx.items()
+                   if not state.finished]
+        for msg_id in stalled:
+            del self._rx[msg_id]
+        return len(stalled)
+
     # ------------------------------------------------------------------ RX --
     def on_packet(self, pkt: Packet) -> None:
         """Fabric delivery entry point (one pipeline per packet)."""

@@ -236,6 +236,29 @@ class Fabric:
         rx(pkt)
 
     # -- introspection ---------------------------------------------------------
+    def attached_nics(self) -> list:
+        """The NIC objects behind the attached rx callbacks.
+
+        Attachment registers a bound ``nic.on_packet``; anything else
+        (test fixtures attach bare functions) is skipped.  This is how
+        fabric-level accounting reaches receiver-side counters such as
+        ``rx_stalled_messages``.
+        """
+        nics = []
+        for callback in self._rx.values():
+            owner = getattr(callback, "__self__", None)
+            if owner is not None and hasattr(owner, "rx_stalled_messages"):
+                nics.append(owner)
+        return nics
+
+    def rx_stalled_messages(self) -> int:
+        """Receiver messages stalled forever by in-network payload loss."""
+        return sum(nic.rx_stalled_messages for nic in self.attached_nics())
+
+    def rx_orphan_packets(self) -> int:
+        """Payload packets that arrived after their header was lost."""
+        return sum(nic.rx_orphan_packets for nic in self.attached_nics())
+
     def tx_busy_ps(self, nid: int) -> int:
         """Total serialization time spent by node ``nid``'s wire."""
         return self._wire[nid].busy_time if nid in self._wire else 0

@@ -189,11 +189,21 @@ class OpenLoopDriver(_DriverBase):
         machine = self.session[self.source]
         rng = random.Random(self.seed)
         mean_gap_ps = _PS_PER_MMPS / self.rate_mmps
+        # Arrival i sits at round(exact offset i), not at a sum of
+        # per-gap roundings: rounding each gap independently accumulates
+        # a systematic rate drift whenever the mean gap is not an integer
+        # (e.g. 3 Mmps = 333333.3 ps), so N fixed-gap requests would span
+        # N*round(mean) instead of N*mean.  Carrying the fractional error
+        # keeps every arrival within 0.5 ps of the exact schedule.
+        exact_ps = 0.0
+        elapsed_ps = 0
         for index in range(self.count):
-            gap = (round(rng.expovariate(1.0) * mean_gap_ps) if self.poisson
-                   else round(mean_gap_ps))
+            exact_ps += (rng.expovariate(1.0) * mean_gap_ps if self.poisson
+                         else mean_gap_ps)
+            gap = round(exact_ps) - elapsed_ps
             if gap:
                 yield env.timeout(gap)
+                elapsed_ps += gap
             request = self.request_kwargs(rng, index)
             env.process(self._one(machine, request), name=f"req[{index}]")
 

@@ -74,10 +74,13 @@ class LatencyStats:
                 max_ns=ordered[-1] / 1000.0,
                 mean_ns=sum(ordered) / len(ordered) / 1000.0,
             )
-        if elapsed_ps:
+        if elapsed_ps is not None:
+            # A legitimate zero-elapsed run (nothing ever scheduled) still
+            # reports its throughput fields — as zero, not by omission.
             seconds = elapsed_ps * 1e-12
-            out["throughput_rps"] = self.completed / seconds
-            out["gib_s"] = self.bytes_total / seconds / (1 << 30)
+            out["throughput_rps"] = self.completed / seconds if seconds else 0.0
+            out["gib_s"] = (self.bytes_total / seconds / (1 << 30)
+                            if seconds else 0.0)
         return out
 
 
@@ -126,6 +129,11 @@ class Metrics:
         """
         self.note(f"{prefix}_packets_delivered", fabric.packets_delivered)
         self.note(f"{prefix}_packets_dropped", fabric.packets_dropped)
+        # Receiver-side fallout of in-network loss: payload packets whose
+        # header was dropped (orphans) and matched messages whose payload
+        # never finished arriving (stalled receive states).
+        self.note(f"{prefix}_rx_orphan_packets", fabric.rx_orphan_packets())
+        self.note(f"{prefix}_rx_stalled_messages", fabric.rx_stalled_messages())
         if hasattr(fabric, "links"):  # congestion flavour
             self.note(f"{prefix}_link_drops", fabric.total_link_drops())
             self.note(f"{prefix}_max_link_queue", fabric.max_link_queue())
@@ -153,11 +161,20 @@ class Metrics:
         total = self.total()
         for key, value in total.summary(elapsed_ps).items():
             out[key] = value
-        if elapsed_ps:
+        if elapsed_ps is not None:
             out["elapsed_ns"] = elapsed_ps / 1000.0
         if per_stream and len(self.streams) > 1:
             for name in sorted(self.streams):
                 for key, value in self.streams[name].summary(elapsed_ps).items():
                     out[f"{name}.{key}"] = value
-        out.update(self.notes)
+        for name, value in self.notes.items():
+            # A note named like a roll-up or stream key ("completed",
+            # "load.p99_ns") would silently corrupt the summary it rides
+            # along in; refuse instead of clobbering.
+            if name in out:
+                raise ValueError(
+                    f"note {name!r} collides with a summary key; "
+                    f"prefix the note (e.g. 'note_{name}')"
+                )
+            out[name] = value
         return out

@@ -328,6 +328,11 @@ def _fabric_notes(summary: dict) -> dict:
         "link_drops": int(summary.get("fabric_link_drops", 0)),
         "max_link_queue": int(summary.get("fabric_max_link_queue", 0)),
         "max_link_utilization": summary.get("fabric_max_link_utilization", 0.0),
+        # Receiver-side fallout of tail-drops: payload packets that lost
+        # their header, and matched messages that can never complete.
+        "rx_orphan_packets": int(summary.get("fabric_rx_orphan_packets", 0)),
+        "rx_stalled_messages": int(
+            summary.get("fabric_rx_stalled_messages", 0)),
     }
 
 

@@ -139,6 +139,9 @@ class Session:
         self.spec = spec
         self.cluster: Cluster = spec.build()
         self.channels: list[Channel] = []
+        #: Receive states reaped at :meth:`close` because their payload
+        #: was lost in the network (congestion tail-drop) — keyed by rank.
+        self.stalled_rx: dict[int, int] = {}
         self._closed = False
 
     # -- convenience constructors -----------------------------------------
@@ -222,10 +225,20 @@ class Session:
 
     # -- teardown ----------------------------------------------------------
     def close(self) -> None:
-        """Uninstall session-tracked channels; idempotent."""
+        """Uninstall session-tracked channels and reap stalled receives.
+
+        Idempotent.  Messages whose payload the congestion fabric
+        tail-dropped can never complete, so their receiver-side state
+        would otherwise leak; the per-rank reap counts land in
+        :attr:`stalled_rx` for scenario accounting.
+        """
         if self._closed:
             return
         self._closed = True
+        for machine in self.cluster.machines:
+            reaped = machine.nic.reap_stalled()
+            if reaped:
+                self.stalled_rx[machine.rank] = reaped
         for channel in self.channels:
             try:
                 channel.close()

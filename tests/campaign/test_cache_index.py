@@ -1,0 +1,147 @@
+"""Cross-run cache index: correctness, robustness, and the load shortcut.
+
+The index is a pure accelerator: every test here asserts that ``load()``
+returns exactly what a full scan would, whatever state the index is in —
+healthy (seek-only loads), partial (tail/gap scans), corrupt or stale
+(full-scan fallback + rebuild), or absent (legacy caches).
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CacheIndex, ResultCache
+from repro.campaign.cache import INDEX_NAME
+
+
+def _rec(key: str, value: int, version: str = "v1") -> dict:
+    return {"key": key, "scenario": "s", "params": {"x": value}, "seed": 1,
+            "code_version": version, "result": {"v": value}, "elapsed_s": 0.1}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "results.jsonl")
+
+
+class TestIndexedLoad:
+    def test_append_maintains_index_and_load_uses_it(self, cache, tmp_path):
+        for i in range(5):
+            cache.append(_rec(f"k{i}", i))
+        assert (tmp_path / INDEX_NAME).exists()
+        records = cache.load()
+        assert {k: r["result"]["v"] for k, r in records.items()} == {
+            f"k{i}": i for i in range(5)
+        }
+        stats = cache.last_load_stats
+        assert stats["indexed"] == 5
+        assert stats["scanned"] == 0
+        assert not stats["full_scan"]
+
+    def test_superseded_records_are_skipped_unparsed(self, cache):
+        for i in range(4):
+            cache.append(_rec("dup", i))
+        cache.append(_rec("other", 9))
+        records = cache.load()
+        assert records["dup"]["result"]["v"] == 3  # last wins
+        stats = cache.last_load_stats
+        assert stats["indexed"] == 2
+        assert stats["skipped"] == 3  # the shortcut the index buys
+
+    def test_legacy_cache_without_index_full_scans_then_heals(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with path.open("w") as fh:
+            for i in range(3):
+                fh.write(json.dumps(_rec(f"k{i}", i)) + "\n")
+        cache = ResultCache(path)
+        first = cache.load()
+        assert cache.last_load_stats["full_scan"]
+        # The fallback rebuilt the index; the next load is seek-only.
+        cache2 = ResultCache(path)
+        assert cache2.load() == first
+        assert cache2.last_load_stats["indexed"] == 3
+        assert not cache2.last_load_stats["full_scan"]
+
+    def test_raw_appends_are_scanned_from_the_tail(self, cache):
+        cache.append(_rec("k0", 0))
+        with cache.path.open("a") as fh:  # legacy writer, no index entry
+            fh.write(json.dumps(_rec("k1", 1)) + "\n")
+            fh.write(json.dumps(_rec("k0", 7)) + "\n")
+        records = cache.load()
+        assert records["k1"]["result"]["v"] == 1
+        assert records["k0"]["result"]["v"] == 7  # tail beats indexed
+        stats = cache.last_load_stats
+        assert stats["scanned"] == 2 and not stats["full_scan"]
+
+    def test_torn_final_line_tolerated_and_never_corrupts_appends(self, cache):
+        cache.append(_rec("k0", 0))
+        with cache.path.open("a") as fh:
+            fh.write('{"key": "trunc')  # killed mid-append, no newline
+        assert set(cache.load()) == {"k0"}
+        cache.append(_rec("k1", 1))  # must not concatenate onto the tear
+        records = ResultCache(cache.path).load()
+        assert {k: r["result"]["v"] for k, r in records.items()} == {
+            "k0": 0, "k1": 1
+        }
+
+    def test_corrupt_index_falls_back_to_full_scan(self, cache, tmp_path):
+        for i in range(3):
+            cache.append(_rec(f"k{i}", i))
+        good = cache.load()
+        # Rewrite the data file (offsets now lie) without touching the index.
+        lines = cache.path.read_bytes().splitlines(keepends=True)
+        cache.path.write_bytes(b"".join(reversed(lines)))
+        cache2 = ResultCache(cache.path)
+        assert cache2.load().keys() == good.keys()
+        assert cache2.last_load_stats["full_scan"]
+
+    def test_index_is_shared_per_directory_but_scoped_per_file(self, tmp_path):
+        a = ResultCache(tmp_path / "a.jsonl")
+        b = ResultCache(tmp_path / "b.jsonl")
+        a.append(_rec("k", 1))
+        b.append(_rec("k", 2))
+        assert a.load()["k"]["result"]["v"] == 1
+        assert b.load()["k"]["result"]["v"] == 2
+        index = CacheIndex(tmp_path / INDEX_NAME)
+        assert index.stats()["per_file"] == {"a.jsonl": 1, "b.jsonl": 1}
+
+    def test_index_disabled_is_plain_jsonl(self, tmp_path):
+        cache = ResultCache(tmp_path / "r.jsonl", index_path=None)
+        cache.append(_rec("k", 1))
+        assert not (tmp_path / INDEX_NAME).exists()
+        assert cache.load()["k"]["result"]["v"] == 1
+
+
+class TestIndexMaintenance:
+    def test_rebuild_index(self, cache, tmp_path):
+        with cache.path.open("w") as fh:
+            fh.write(json.dumps(_rec("k0", 0)) + "\n")
+            fh.write(json.dumps(_rec("k0", 5)) + "\n")
+        assert cache.rebuild_index() == 1
+        cache2 = ResultCache(cache.path)
+        cache2.load()
+        assert cache2.last_load_stats["indexed"] == 1
+        assert cache2.last_load_stats["skipped"] == 1
+
+    def test_rebuild_of_missing_file_clears_its_entries(self, cache):
+        cache.append(_rec("k", 1))
+        cache.path.unlink()
+        assert cache.rebuild_index() == 0
+        assert cache.index.entries_for(cache.path.name) == []
+
+    def test_stats_counts_stale_code_versions(self, cache):
+        cache.append(_rec("k0", 0, version="vOld"))
+        cache.append(_rec("k1", 1, version="vOld"))
+        cache.append(_rec("k2", 2, version="vNew"))
+        stats = cache.index.stats(current_version="vNew")
+        assert stats["entries"] == 3
+        assert stats["live_records"] == 3
+        assert stats["stale_code_versions"] == {"vOld": 2}
+
+    def test_torn_index_line_tolerated(self, cache):
+        for i in range(3):
+            cache.append(_rec(f"k{i}", i))
+        with cache.index.path.open("a") as fh:
+            fh.write('{"file": "resul')
+        records = cache.load()
+        assert len(records) == 3

@@ -33,6 +33,76 @@ CONGESTION_SCENARIOS = ("incast_load", "permutation_traffic",
 TAG = 77
 
 
+class TestRxStallAccounting:
+    """Regression (ISSUE 5): payload tail-drops used to leak rx state.
+
+    A message whose header was matched but whose payload packets the
+    congestion fabric tail-dropped can never complete; its ``_MessageRx``
+    stayed in ``BaselineNIC._rx`` forever, invisible to any metric.  Now
+    ``pending_rx``/``rx_stalled_messages`` expose it,
+    ``Metrics.observe_fabric`` folds it into summaries, and
+    ``Session.close()`` reaps (and accounts) the stalled states.
+    """
+
+    def _overloaded_incast(self):
+        """16->1 fan-in of multi-packet messages through depth-4 queues."""
+        fanin, target = 16, 16
+        sess = Session(ClusterSpec(nodes=fanin + 1, config="int",
+                                   fabric="congestion", link_queue_depth=4))
+        sess.install(target, MatchEntry(match_bits=TAG, length=1 << 30))
+        metrics = Metrics()
+        drivers = [
+            OpenLoopDriver(sess, source=s, target=target, rate_mmps=4.0,
+                           count=16, size=16384, match_bits=TAG,
+                           seed=6151 + s, metrics=metrics, stream="incast")
+            for s in range(fanin)
+        ]
+        for driver in drivers:
+            driver.start()
+        sess.drain()
+        for driver in drivers:
+            driver.finalize()
+        return sess, metrics, target
+
+    def test_stalled_rx_states_are_counted_reaped_and_folded(self):
+        sess, metrics, target = self._overloaded_incast()
+        nic = sess[target].nic
+        stalled = nic.rx_stalled_messages
+        assert stalled > 0  # payload loss stranded some matched messages
+        assert nic.pending_rx >= stalled
+        # observe_fabric folds the receiver-side fallout into the summary.
+        metrics.observe_fabric(sess.cluster.fabric, elapsed_ps=sess.env.now)
+        summary = metrics.summary(elapsed_ps=sess.env.now)
+        assert summary["fabric_rx_stalled_messages"] == stalled
+        assert summary["fabric_rx_orphan_packets"] == nic.rx_orphan_packets
+        # close() reaps the unfinishable states and accounts them per rank.
+        sess.close()
+        assert sess.stalled_rx[target] == stalled
+        assert nic.rx_stalled_messages == 0
+        assert nic.pending_rx == 0  # the leak is gone
+        sess.close()  # idempotent: nothing double-counted
+        assert sess.stalled_rx[target] == stalled
+
+    def test_reap_stalled_is_a_noop_on_healthy_sessions(self):
+        with Session.pair("int") as sess:
+            sess.install(1, MatchEntry(match_bits=TAG, length=1 << 30))
+            driver = OpenLoopDriver(sess, source=0, target=1, rate_mmps=1.0,
+                                    count=4, size=4096, match_bits=TAG,
+                                    seed=3)
+            driver.start()
+            sess.drain()
+            assert sess[1].nic.pending_rx == 0
+            assert sess[1].nic.reap_stalled() == 0
+        assert sess.stalled_rx == {}
+
+    def test_incast_scenario_reports_stalls(self):
+        result = get_scenario("incast_load").run(
+            {"fanin": 16, "count": 16, "depth": 4, "size": 16384})
+        assert result["rx_stalled_messages"] > 0
+        assert result["rx_orphan_packets"] > 0
+        assert result["lost"] >= result["rx_stalled_messages"]
+
+
 class TestSpecPlumbing:
     def test_default_fabric_is_loggp(self):
         with Session.pair("int") as sess:

@@ -57,6 +57,47 @@ class TestPercentiles:
         assert summary["throughput_rps"] == pytest.approx(6 / 1e-6)
 
 
+class TestMetricsRegressions:
+    def test_note_colliding_with_rollup_key_raises(self):
+        """A note named `completed` must not clobber the total roll-up."""
+        metrics = Metrics()
+        metrics.stream("load").start()
+        metrics.stream("load").record(1000)
+        metrics.note("completed", 999)
+        with pytest.raises(ValueError, match="completed"):
+            metrics.summary()
+
+    def test_note_colliding_with_stream_key_raises(self):
+        metrics = Metrics()
+        for name in ("a", "b"):
+            metrics.stream(name).start()
+            metrics.stream(name).record(1000)
+        metrics.note("a.completed", 7)
+        with pytest.raises(ValueError, match="a.completed"):
+            metrics.summary()
+
+    def test_non_colliding_notes_still_ride_along(self):
+        metrics = Metrics()
+        metrics.stream("load").record(1000)
+        metrics.note("lost_requests", 2)
+        assert metrics.summary(elapsed_ps=1000)["lost_requests"] == 2
+
+    def test_zero_elapsed_run_keeps_throughput_fields(self):
+        """elapsed_ps=0 is a legitimate (empty) run, not 'no elapsed'."""
+        metrics = Metrics()
+        summary = metrics.summary(elapsed_ps=0)
+        assert summary["throughput_rps"] == 0.0
+        assert summary["gib_s"] == 0.0
+        assert summary["elapsed_ns"] == 0.0
+        # Omitting elapsed_ps still omits the rate fields.
+        assert "throughput_rps" not in metrics.summary()
+
+    def test_zero_elapsed_stream_summary(self):
+        stats = LatencyStats()
+        summary = stats.summary(elapsed_ps=0)
+        assert summary["throughput_rps"] == 0.0 and summary["gib_s"] == 0.0
+
+
 class TestMetrics:
     def test_streams_and_total_rollup(self):
         metrics = Metrics()
@@ -142,6 +183,56 @@ class TestOpenLoopDriver:
             OpenLoopDriver(sess, source=0, target=1, rate_mmps=0.0, count=4)
         with pytest.raises(ValueError):
             OpenLoopDriver(sess, source=0, target=1, rate_mmps=1.0, count=0)
+
+    def _arrival_times(self, rate_mmps: float, count: int,
+                       poisson: bool) -> list[int]:
+        sess = _serve_session()
+        times = []
+
+        def make_request(rng, index):
+            times.append(sess.env.now)
+            return {"target": 1, "nbytes": 64, "match_bits": TAG,
+                    "pt_index": 0}
+
+        OpenLoopDriver(
+            sess, source=0, target=1, rate_mmps=rate_mmps, count=count,
+            match_bits=TAG, seed=5, poisson=poisson,
+            make_request=make_request,
+        ).start()
+        sess.drain()
+        assert len(times) == count
+        return times
+
+    def test_fixed_gap_arrivals_carry_fractional_error(self):
+        """Non-integer mean gaps must not accumulate systematic rate drift.
+
+        At 3 Mmps the mean gap is 333333.33 ps; rounding each gap
+        independently would put arrival i at i*333333 — a growing offset
+        (-10 ps by the 30th request, unbounded beyond) and an achieved
+        rate measurably below the offered one.  Carrying the fractional
+        error pins every arrival within 0.5 ps of the exact schedule.
+        """
+        count, rate = 30, 3.0
+        mean_gap_ps = 1_000_000 / rate
+        times = self._arrival_times(rate, count, poisson=False)
+        for i, t in enumerate(times):
+            assert t == round((i + 1) * mean_gap_ps)
+        # N requests span N*mean: the offered rate is achieved exactly.
+        assert abs(times[-1] - count * mean_gap_ps) <= 0.5
+        # The old per-gap rounding's signature drift is gone.
+        assert times[-1] != count * round(mean_gap_ps)
+
+    def test_poisson_arrivals_track_the_exact_sample_path(self):
+        """Rounding error must not random-walk for Poisson arrivals either."""
+        import random as _random
+
+        rate, count, seed = 2.7, 25, 5
+        rng = _random.Random(seed)
+        exact = 0.0
+        times = self._arrival_times(rate, count, poisson=True)
+        for t in times:
+            exact += rng.expovariate(1.0) * (1_000_000 / rate)
+            assert abs(t - exact) <= 0.5
 
     def test_finalize_reconciles_unacked_requests(self):
         """Requests dropped at the target surface as drops, not silence."""
