@@ -35,19 +35,48 @@ from repro.portals.types import EventKind
 
 __all__ = ["SpinNIC"]
 
+#: Default cycle-cost model: frozen, so one instance serves every NIC.
+_DEFAULT_COST_MODEL = HandlerCostModel()
+
 
 class SpinNIC(BaselineNIC):
     """A NIC with sPIN handler processing units."""
 
     def __init__(self, env, machine, cost_model: Optional[HandlerCostModel] = None):
         super().__init__(env, machine)
-        self.hpus = HPUPool(
-            env, self.params.hpu_count, rank=self.rank, timeline=self.timeline
-        )
-        self.cost = cost_model or HandlerCostModel()
+        # The HPU pool is built on first use: scenarios that never bind a
+        # handler (rdma/p4 protocols) skip the pool + store construction
+        # entirely.  Building it schedules no kernel events, so laziness
+        # cannot perturb traces.
+        self._hpus: Optional[HPUPool] = None
+        self.cost = cost_model or _DEFAULT_COST_MODEL
         self.handler_errors: list[tuple[str, ReturnCode]] = []
         self.flow_control_trips = 0
         self._ph_name = f"ph[{self.rank}]"
+
+    def reset(self) -> None:
+        """Restore construction state (cluster reuse; see Session pooling).
+
+        A built HPU pool is rewound in place (restoring the FIFO id order
+        a fresh pool hands out) rather than rebuilt — pooled sessions that
+        bind handlers every tenancy would otherwise reconstruct it each
+        checkout.  Handler-free tenants still never pay for one.
+        """
+        super().reset()
+        if self._hpus is not None:
+            self._hpus.reset()
+        self.handler_errors.clear()
+        self.flow_control_trips = 0
+
+    @property
+    def hpus(self) -> HPUPool:
+        pool = self._hpus
+        if pool is None:
+            pool = self._hpus = HPUPool(
+                self.env, self.params.hpu_count, rank=self.rank,
+                timeline=self.timeline,
+            )
+        return pool
 
     # -- header path -------------------------------------------------------
     def _header_hook(self, state: _MessageRx, pkt: Packet) -> Optional[Generator]:

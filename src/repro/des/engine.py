@@ -10,11 +10,37 @@ Units
 All timestamps and delays are integer **picoseconds**.  Use :func:`ns` /
 :func:`us` to build delays from the paper's nanosecond/microsecond constants
 and :func:`ps_to_ns` / :func:`ps_to_us` to convert results back for reporting.
+Non-integer delays are rejected (or, for exactly-integral floats, coerced) at
+construction: float timestamps would silently break both the canonical trace
+encoding and the calendar queue's integer bucket keys.
+
+Event queue
+-----------
+The default pending-event structure is an indexed **calendar queue**: events
+are hashed into fixed-width time buckets by ``when >> _BUCKET_SHIFT``; future
+buckets are plain append-lists (O(1) insertion) indexed by a small min-heap of
+occupied bucket ids, and the *current* bucket is heapified once when the clock
+enters it.  Bucket width is 2**16 ps ≈ 65.5 ns — sized from the observed event
+horizon of the LogGP models (per-packet gaps, overheads and match latencies
+are a few ns to a few hundred ns), so a bucket holds a handful of events and
+the common push is an append instead of an O(log n) sift.  Queue entries are
+4-slot lists recycled through a free list (arena-style: a drained entry is
+reused by the next push instead of allocating).  Total order is exactly the
+classic ``(time, priority, seq)`` triple — ``seq`` is unique, so bucket-local
+heap ordering reproduces the global heap's pop order byte-for-byte, and
+``Timeline.canonical_bytes()`` is invariant to the queue flavour.
+
+Set ``REPRO_EVENT_QUEUE=heap`` to select the legacy binary-heap queue (tuples
+in one ``heapq`` list) — kept as a differential-testing escape hatch.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+import os
+from gc import disable as _gc_disable, enable as _gc_enable
+from gc import isenabled as _gc_isenabled
+from heapq import heapify, heappop, heappush
+from operator import index as _as_int
 from types import GeneratorType
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -39,6 +65,29 @@ __all__ = [
 PRIORITY_URGENT = 0
 PRIORITY_NORMAL = 1
 
+#: log2 of the calendar-queue bucket width in picoseconds (see module
+#: docstring for the sizing argument).
+_BUCKET_SHIFT = 20
+
+# ``os.environ`` lookups go through ``_Environ.__getitem__`` (encode + dict +
+# decode) — measurable on construction-heavy paths that consult fast-path
+# switches per build.  On POSIX CPython the backing ``_data`` dict of encoded
+# keys/values is stable and kept in sync by ``putenv``/``monkeypatch.setenv``,
+# so read it directly; fall back to the mapping API anywhere it is absent.
+_ENV_DATA = getattr(os.environ, "_data", None) if os.name == "posix" else None
+_ENV_KEYS: dict[str, bytes] = {}
+
+
+def _env_get(name: str) -> Optional[str]:
+    """Cheap ``os.environ.get`` honouring live mutation (monkeypatch etc.)."""
+    if _ENV_DATA is None:
+        return os.environ.get(name)
+    key = _ENV_KEYS.get(name)
+    if key is None:
+        _ENV_KEYS[name] = key = os.fsencode(name)
+    raw = _ENV_DATA.get(key)
+    return None if raw is None else os.fsdecode(raw)
+
 
 def env_flag(name: str, default: bool = True) -> bool:
     """Parse an on/off environment switch.
@@ -48,12 +97,23 @@ def env_flag(name: str, default: bool = True) -> bool:
     (``REPRO_FABRIC_FAST_PATH``, ``REPRO_NIC_FAST_RX``) so every switch
     accepts the same spellings.
     """
-    import os
-
-    value = os.environ.get(name)
+    value = _env_get(name)
     if value is None:
         return default
     return value.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+def _queue_flavour() -> str:
+    """Resolve ``REPRO_EVENT_QUEUE`` to ``calendar`` (default) or ``heap``."""
+    value = _env_get("REPRO_EVENT_QUEUE")
+    if value is None or value == "":
+        return "calendar"
+    value = value.strip().lower()
+    if value not in ("calendar", "heap"):
+        raise SimulationError(
+            f"REPRO_EVENT_QUEUE={value!r}: expected 'calendar' or 'heap'"
+        )
+    return value
 
 
 def ns(value: float) -> int:
@@ -89,6 +149,26 @@ class Interrupt(Exception):
     def __init__(self, cause: Any = None):
         super().__init__(cause)
         self.cause = cause
+
+
+def _coerce_delay(delay: Any) -> int:
+    """Validate a delay that is not a plain ``int``.
+
+    Index-able integers (numpy ints, bools) pass through; floats are accepted
+    only when exactly integral (the historical tolerance — a stray ``2.0``
+    used to work by accident), everything else is a kernel-invariant
+    violation and is rejected loudly.
+    """
+    try:
+        return _as_int(delay)
+    except TypeError:
+        pass
+    if isinstance(delay, float) and delay.is_integer():
+        return int(delay)
+    raise SimulationError(
+        f"non-integer delay {delay!r}: simulation time is integer picoseconds"
+        " (round at the call site)"
+    )
 
 
 # Sentinel distinguishing "not yet triggered" from a triggered None value.
@@ -146,7 +226,25 @@ class Event:
         self._value = value
         env = self.env
         env._seq = seq = env._seq + 1
-        heappush(env._queue, (env._now, PRIORITY_NORMAL, seq, self))
+        if env._heap is not None:
+            heappush(env._heap, (env._now, PRIORITY_NORMAL, seq, self))
+        else:
+            # Inlined calendar push (see Environment._cal_push) — succeed()
+            # is one of the kernel's hottest call sites.
+            when = env._now
+            free = env._free
+            if free:
+                entry = free.pop()
+                entry[0] = when
+                entry[1] = PRIORITY_NORMAL
+                entry[2] = seq
+                entry[3] = self
+            else:
+                entry = [when, PRIORITY_NORMAL, seq, self]
+            if when >> env._shift == env._cur_id:
+                heappush(env._cur, entry)
+            else:
+                env._cal_far(entry)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -178,13 +276,15 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after a fixed delay.
 
-    Construction is flattened to a single ``_schedule`` call (no chained
+    Construction is flattened to a single scheduling step (no chained
     ``__init__``): timeouts are the kernel's hottest allocation.
     """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: int, value: Any = None):
+        if type(delay) is not int:
+            delay = _coerce_delay(delay)
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
         self.env = env
@@ -194,7 +294,24 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         env._seq = seq = env._seq + 1
-        heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, seq, self))
+        if env._heap is not None:
+            heappush(env._heap, (env._now + delay, PRIORITY_NORMAL, seq, self))
+        else:
+            # Inlined calendar push — the kernel's hottest allocation site.
+            when = env._now + delay
+            free = env._free
+            if free:
+                entry = free.pop()
+                entry[0] = when
+                entry[1] = PRIORITY_NORMAL
+                entry[2] = seq
+                entry[3] = self
+            else:
+                entry = [when, PRIORITY_NORMAL, seq, self]
+            if when >> env._shift == env._cur_id:
+                heappush(env._cur, entry)
+            else:
+                env._cal_far(entry)
 
 
 class _Callback:
@@ -203,7 +320,7 @@ class _Callback:
     The no-allocation alternative to a Timeout-plus-callback: no Event, no
     callbacks list, no value plumbing.  Created by
     :meth:`Environment.schedule_callback`; ``cancel()`` turns the entry
-    into a no-op (it stays in the heap and is skipped when popped).
+    into a no-op (it stays in the queue and is skipped when popped).
     """
 
     __slots__ = ("fn",)
@@ -213,6 +330,11 @@ class _Callback:
 
     def cancel(self) -> None:
         self.fn = None
+
+    def __call__(self) -> None:
+        fn = self.fn
+        if fn is not None:
+            fn()
 
 
 class Initialize(Event):
@@ -227,7 +349,10 @@ class Initialize(Event):
         self._ok = True
         self._defused = False
         env._seq = seq = env._seq + 1
-        heappush(env._queue, (env._now, PRIORITY_URGENT, seq, self))
+        if env._heap is not None:
+            heappush(env._heap, (env._now, PRIORITY_URGENT, seq, self))
+        else:
+            env._cal_push(env._now, PRIORITY_URGENT, seq, self)
 
 
 class Process(Event):
@@ -306,40 +431,57 @@ class Process(Event):
                 except ValueError:
                     pass
         self._target = None
-        env._active_process = self
-        try:
-            if event._ok:
-                result = self._generator.send(event._value)
-            else:
-                event._defused = True
-                result = self._generator.throw(event._value)
-        except StopIteration as stop:
+        while True:
+            env._active_process = self
+            try:
+                if event._ok:
+                    result = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    result = self._generator.throw(event._value)
+            except StopIteration as stop:
+                env._active_process = None
+                self._ok = True
+                self._value = stop.value
+                env._seq = seq = env._seq + 1
+                if env._heap is not None:
+                    heappush(env._heap, (env._now, PRIORITY_NORMAL, seq, self))
+                else:
+                    when = env._now
+                    free = env._free
+                    if free:
+                        entry = free.pop()
+                        entry[0] = when
+                        entry[1] = PRIORITY_NORMAL
+                        entry[2] = seq
+                        entry[3] = self
+                    else:
+                        entry = [when, PRIORITY_NORMAL, seq, self]
+                    if when >> env._shift == env._cur_id:
+                        heappush(env._cur, entry)
+                    else:
+                        env._cal_far(entry)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                self._defused = False
+                env._schedule(self, PRIORITY_NORMAL, 0)
+                return
             env._active_process = None
-            self._ok = True
-            self._value = stop.value
-            env._seq = seq = env._seq + 1
-            heappush(env._queue, (env._now, PRIORITY_NORMAL, seq, self))
-            return
-        except BaseException as exc:
-            env._active_process = None
-            self._ok = False
-            self._value = exc
-            self._defused = False
-            env._schedule(self, PRIORITY_NORMAL, 0)
-            return
-        env._active_process = None
 
-        callbacks = result.callbacks if isinstance(result, Event) else None
-        if callbacks is not None:
-            callbacks.append(self._resume)
-            self._target = result
-        elif isinstance(result, Event):
-            # Already processed: resume immediately at the current time.
-            immediate = Event(env)
-            immediate.callbacks.append(self._resume)
-            immediate.trigger(result)
-            self._target = immediate
-        else:
+            callbacks = result.callbacks if isinstance(result, Event) else None
+            if callbacks is not None:
+                callbacks.append(self._resume)
+                self._target = result
+                return
+            if isinstance(result, Event):
+                # Already processed (synchronous grant / ready store item /
+                # long-fired event): deliver its outcome without a queue
+                # round-trip, exactly as if the value had been sent inline.
+                event = result
+                continue
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {result!r}"
             )
@@ -414,15 +556,65 @@ _METER = None
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
+
+    Two queue flavours (see module docstring): the default calendar queue
+    and the legacy heap, selected per-environment at construction from
+    ``REPRO_EVENT_QUEUE``.  Both implement the identical total order
+    ``(time, priority, seq)``; ``_heap`` is the tuple heap in heap mode and
+    ``None`` in calendar mode (push sites branch on that).
+    """
 
     def __init__(self, initial_time: int = 0):
         self._now: int = initial_time
-        self._queue: list[tuple[int, int, int, Event]] = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
+        self.queue_flavour: str = _queue_flavour()
+        if self.queue_flavour == "heap":
+            self._heap: Optional[list] = []
+        else:
+            self._heap = None
+            self._shift: int = _BUCKET_SHIFT
+            #: current (heapified) bucket + its id; pushes into the current
+            #: bucket heappush here so mid-drain arrivals stay ordered.
+            self._cur: list = []
+            self._cur_id: int = (initial_time >> _BUCKET_SHIFT) - 1
+            #: future buckets: id -> unsorted entry list, plus a min-heap of
+            #: occupied ids (never stale: an id is pushed exactly when its
+            #: bucket is created and popped when the bucket becomes current).
+            self._buckets: dict[int, list] = {}
+            self._bucket_ids: list[int] = []
+            #: entry arena: drained [when, prio, seq, payload] lists are
+            #: recycled instead of reallocated.
+            self._free: list = []
         if _METER is not None:
             _METER.register(self)
+
+    def reset(self) -> None:
+        """Rewind a *drained* environment to t=0 for reuse.
+
+        Session pooling (see :mod:`repro.sim.session`) rebinds a finished
+        cluster to a fresh simulation instead of rebuilding it; the kernel
+        side of that is rewinding the clock and the seq counter so the next
+        run's ``(time, priority, seq)`` order is identical to a fresh
+        environment's.  The calendar's entry arena deliberately survives —
+        recycled entries are the point of the arena.  Raises if events are
+        still pending: resetting a live queue would drop them silently.
+        """
+        if self._heap is not None:
+            if self._heap:
+                raise SimulationError("reset() with events still pending")
+        elif self._cur or self._buckets:
+            raise SimulationError("reset() with events still pending")
+        if _METER is not None:
+            # Bank the count before zeroing: a metered window must see
+            # events from environments that are rewound inside it.
+            _METER.flush(self._seq)
+        self._now = 0
+        self._seq = 0
+        self._active_process = None
+        if self._heap is None:
+            self._cur_id = -1
 
     @property
     def events_scheduled(self) -> int:
@@ -485,9 +677,54 @@ class Environment:
         return AnyOf(self, events)
 
     # -- scheduling & stepping --------------------------------------------
+    def _cal_push(self, when: int, priority: int, seq: int, payload: Any) -> None:
+        """Insert into the calendar queue (callers already bumped ``_seq``)."""
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = when
+            entry[1] = priority
+            entry[2] = seq
+            entry[3] = payload
+        else:
+            entry = [when, priority, seq, payload]
+        if when >> self._shift == self._cur_id:
+            heappush(self._cur, entry)
+        else:
+            self._cal_far(entry)
+
+    def _cal_far(self, entry: list) -> None:
+        """Insert an entry whose bucket is not the current one (cold half of
+        the push, shared by the inlined hot sites)."""
+        bid = entry[0] >> self._shift
+        buckets = self._buckets
+        bucket = buckets.get(bid)
+        if bucket is None:
+            buckets[bid] = [entry]
+            heappush(self._bucket_ids, bid)
+        else:
+            bucket.append(entry)
+
+    def _advance_bucket(self) -> Optional[list]:
+        """Make the earliest occupied bucket current; None if queue empty."""
+        if self._cur:
+            return self._cur
+        ids = self._bucket_ids
+        if not ids:
+            return None
+        bid = heappop(ids)
+        self._cur = cur = self._buckets.pop(bid)
+        self._cur_id = bid
+        if len(cur) > 1:
+            heapify(cur)
+        return cur
+
     def _schedule(self, event: Event, priority: int, delay: int) -> None:
         self._seq = seq = self._seq + 1
-        heappush(self._queue, (self._now + delay, priority, seq, event))
+        if self._heap is not None:
+            heappush(self._heap, (self._now + delay, priority, seq, event))
+        else:
+            self._cal_push(self._now + delay, priority, seq, event)
 
     def schedule_callback(
         self,
@@ -502,30 +739,93 @@ class Environment:
         waiters.  Returns a handle whose ``cancel()`` makes the entry a
         no-op.  Exceptions raised by ``fn`` propagate out of ``step()``.
         """
+        if type(delay) is not int:
+            delay = _coerce_delay(delay)
         if delay < 0:
             raise SimulationError(f"negative callback delay {delay}")
-        entry = _Callback(fn)
+        handle = _Callback(fn)
         self._seq = seq = self._seq + 1
-        heappush(self._queue, (self._now + delay, priority, seq, entry))
-        return entry
+        if self._heap is not None:
+            heappush(self._heap, (self._now + delay, priority, seq, handle))
+        else:
+            when = self._now + delay
+            free = self._free
+            if free:
+                entry = free.pop()
+                entry[0] = when
+                entry[1] = priority
+                entry[2] = seq
+                entry[3] = handle
+            else:
+                entry = [when, priority, seq, handle]
+            if when >> self._shift == self._cur_id:
+                heappush(self._cur, entry)
+            else:
+                self._cal_far(entry)
+        return handle
+
+    def schedule_fn(
+        self,
+        delay: int,
+        fn: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Like :meth:`schedule_callback`, but with no cancellation handle.
+
+        The queue entry's payload is the bare callable — no ``_Callback``
+        allocation.  This is the primitive the fast-path chains use: they
+        schedule one hop per kernel event and never cancel.
+        """
+        if type(delay) is not int:
+            delay = _coerce_delay(delay)
+        if delay < 0:
+            raise SimulationError(f"negative callback delay {delay}")
+        self._seq = seq = self._seq + 1
+        if self._heap is not None:
+            heappush(self._heap, (self._now + delay, priority, seq, fn))
+        else:
+            when = self._now + delay
+            free = self._free
+            if free:
+                entry = free.pop()
+                entry[0] = when
+                entry[1] = priority
+                entry[2] = seq
+                entry[3] = fn
+            else:
+                entry = [when, priority, seq, fn]
+            if when >> self._shift == self._cur_id:
+                heappush(self._cur, entry)
+            else:
+                self._cal_far(entry)
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next scheduled event, or None if queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        if self._heap is not None:
+            return self._heap[0][0] if self._heap else None
+        cur = self._cur or self._advance_bucket()
+        return cur[0][0] if cur else None
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        queue = self._queue
-        if not queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heappop(queue)
+        if self._heap is not None:
+            queue = self._heap
+            if not queue:
+                raise SimulationError("step() on an empty event queue")
+            when, _prio, _seq, event = heappop(queue)
+        else:
+            cur = self._cur or self._advance_bucket()
+            if not cur:
+                raise SimulationError("step() on an empty event queue")
+            entry = heappop(cur)
+            when = entry[0]
+            event = entry[3]
+            self._free.append(entry)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
-        if event.__class__ is _Callback:
-            fn = event.fn
-            if fn is not None:
-                fn()
+        if not isinstance(event, Event):
+            event()  # bare callable or _Callback handle
             return
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -540,19 +840,126 @@ class Environment:
         ``until`` may be an absolute time (int picoseconds) or an
         :class:`Event`; in the latter case :meth:`run` returns the event's
         value when it fires.
+
+        Cyclic GC is paused for the duration of the drain: the loop
+        allocates heavily (entries, chains, generator frames) and nearly
+        everything dies young by refcount, so generation scans mid-drain
+        only burn time re-tracking short-lived objects.  Collection is
+        deferred, not skipped — the pause is released on exit (exceptions
+        included) and a GC the user disabled themselves stays disabled.
         """
-        queue = self._queue
+        if _gc_isenabled():
+            _gc_disable()
+            try:
+                return self._run(until)
+            finally:
+                _gc_enable()
+        return self._run(until)
+
+    def _run(self, until: Optional[int] = None) -> Any:
+        if self._heap is not None:
+            return self._run_heap(until)
+        free = self._free
+        buckets = self._buckets
+        ids = self._bucket_ids
         if until is None:
-            # Inlined step loop: the per-event dispatch is the simulator's
-            # innermost hot path (validated delays make the past-check of
-            # step() redundant here).
+            # Batched drain: the inner loop empties the whole current bucket
+            # without re-probing the bucket map (the simulator's innermost
+            # hot path; validated delays make step()'s past-check redundant).
+            # The bucket advance is inlined — at small bucket occupancies it
+            # runs nearly once per event.
+            while True:
+                cur = self._cur
+                if not cur:
+                    if not ids:
+                        return None
+                    bid = heappop(ids)
+                    self._cur = cur = buckets.pop(bid)
+                    self._cur_id = bid
+                    if len(cur) > 1:
+                        heapify(cur)
+                while cur:
+                    entry = heappop(cur)
+                    self._now = entry[0]
+                    event = entry[3]
+                    free.append(entry)
+                    if not isinstance(event, Event):
+                        event()
+                        continue
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+        if isinstance(until, Event):
+            sentinel = until
+            if sentinel.callbacks is None:
+                return sentinel.value
+            done: list = []
+            sentinel.callbacks.append(done.append)
+            while not done:
+                cur = self._cur
+                if not cur:
+                    if not ids:
+                        break
+                    bid = heappop(ids)
+                    self._cur = cur = buckets.pop(bid)
+                    self._cur_id = bid
+                    if len(cur) > 1:
+                        heapify(cur)
+                while cur:
+                    entry = heappop(cur)
+                    self._now = entry[0]
+                    event = entry[3]
+                    free.append(entry)
+                    if not isinstance(event, Event):
+                        event()
+                    else:
+                        callbacks, event.callbacks = event.callbacks, None
+                        for callback in callbacks:
+                            callback(event)
+                        if not event._ok and not event._defused:
+                            raise event._value
+                    if done:
+                        break
+            if not done:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event fired"
+                )
+            if not sentinel._ok:
+                raise sentinel._value
+            return sentinel._value
+        horizon = int(until)
+        if horizon < self._now:
+            raise SimulationError("cannot run() into the past")
+        shift = self._shift
+        while True:
+            cur = self._cur
+            if not cur:
+                ids = self._bucket_ids
+                # Earliest possible entry in the next bucket is its base
+                # time; stop before heapifying a bucket past the horizon.
+                if not ids or (ids[0] << shift) > horizon:
+                    break
+                cur = self._advance_bucket()
+            if cur[0][0] > horizon:
+                # Everything left in this bucket — and every later bucket —
+                # lies beyond the horizon.
+                break
+            while cur and cur[0][0] <= horizon:
+                self.step()
+        self._now = horizon
+        return None
+
+    def _run_heap(self, until: Optional[int]) -> Any:
+        """Legacy heap drain loops (``REPRO_EVENT_QUEUE=heap``)."""
+        queue = self._heap
+        if until is None:
             while queue:
                 when, _prio, _seq, event = heappop(queue)
                 self._now = when
-                if event.__class__ is _Callback:
-                    fn = event.fn
-                    if fn is not None:
-                        fn()
+                if not isinstance(event, Event):
+                    event()
                     continue
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
@@ -569,10 +976,8 @@ class Environment:
             while queue and not done:
                 when, _prio, _seq, event = heappop(queue)
                 self._now = when
-                if event.__class__ is _Callback:
-                    fn = event.fn
-                    if fn is not None:
-                        fn()
+                if not isinstance(event, Event):
+                    event()
                     continue
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:

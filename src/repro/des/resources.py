@@ -74,8 +74,14 @@ class Resource:
     def request(self) -> Request:
         req = Request(self)
         if len(self._users) < self.capacity:
+            # Uncontended: grant synchronously, with no kernel event.  The
+            # request comes back already *processed* (callbacks is None), so
+            # a waiting process resumes inline and a callback chain calls its
+            # continuation directly — the queue round-trip the old
+            # ``req.succeed()`` paid bought nothing but a tie-order slot.
             self._users.add(req)
-            req.succeed()
+            req._value = None
+            req.callbacks = None
         else:
             self._waiting.append(req)
         return req
@@ -95,6 +101,11 @@ class Resource:
             self._waiting.remove(req)
         except ValueError:
             pass
+
+    def reset(self) -> None:
+        """Forget all holders/waiters (cluster reuse; see Session pooling)."""
+        self._users.clear()
+        self._waiting.clear()
 
     def use(self, duration: int) -> Generator[Any, Any, None]:
         """Sub-process helper: hold the resource for ``duration`` ps."""
@@ -159,6 +170,12 @@ class Server:
             return 0.0
         return self.busy_time / elapsed
 
+    def reset(self) -> None:
+        """Zero the service accounting (cluster reuse)."""
+        self.busy_time = 0
+        self.jobs_served = 0
+        self._resource.reset()
+
 
 class ServeChain:
     """Callback mirror of ``env.process(server.serve(duration))``.
@@ -181,14 +198,16 @@ class ServeChain:
         self.duration = duration
         self.req = None
         self.then = then
-        server.env.schedule_callback(0, self._begin, PRIORITY_URGENT)
-
-    def _begin(self) -> None:
-        self.req = req = self.server._resource.request()
-        req.callbacks.append(self._granted)
+        # Request synchronously (no URGENT 0-delay hop): construction order
+        # is FIFO order either way, and ``_done``'s timestamp is unchanged.
+        self.req = req = server._resource.request()
+        if req.callbacks is None:
+            self._granted(req)
+        else:
+            req.callbacks.append(self._granted)
 
     def _granted(self, _event: Event) -> None:
-        self.server.env.schedule_callback(self.duration, self._done)
+        self.server.env.schedule_fn(self.duration, self._done)
 
     def _done(self) -> None:
         server = self.server
@@ -222,7 +241,10 @@ class Store:
         """Return an event firing with the next item."""
         event = Event(self.env)
         if self._items:
-            event.succeed(self._items.popleft())
+            # Item available: deliver synchronously (processed, no kernel
+            # event) — matches the uncontended Resource.request fast path.
+            event._value = self._items.popleft()
+            event.callbacks = None
         else:
             self._getters.append(event)
         return event
@@ -260,6 +282,10 @@ class RateLimiter:
 
     def wait_turn(self) -> Event:
         return self.env.timeout(self.claim() - self.env._now)
+
+    def reset(self) -> None:
+        """Forget the grant history (cluster reuse)."""
+        self._next_free = 0
 
     @property
     def next_free(self) -> int:

@@ -102,6 +102,17 @@ class Timeline:
             self._retally()
         return self._busy.get((rank, lane), 0)
 
+    def clear(self) -> None:
+        """Drop all recorded spans (keeps the enabled flag).
+
+        ``spans`` is cleared in place so external references stay valid,
+        mirroring :meth:`_retally`'s contract.
+        """
+        self.spans.clear()
+        self._busy.clear()
+        self._t0 = self._t1 = 0
+        self._tallied = 0
+
     def extent(self) -> tuple[int, int]:
         """(min start, max end) over all spans; (0, 0) if empty."""
         if not self.spans:

@@ -23,8 +23,15 @@ def pair_session(
     with_memory: bool = True,
     latency_ps: Optional[int] = None,
 ) -> Session:
-    """A session whose endpoint pairs sit cross-pod (worst case L)."""
-    return Session(ClusterSpec(
+    """A session whose endpoint pairs sit cross-pod (worst case L).
+
+    Routed through the session reuse pool: memory-less, trace-less specs
+    (the microbenchmark shape) are rewound and reused across calls instead
+    of rebuilt.  Callers that want to opt in should ``sess.release()``
+    when done; everything else just works — an unpoolable spec builds
+    fresh as before.
+    """
+    return Session.checkout(ClusterSpec(
         nodes=nprocs,
         config=config,
         nic="spin",

@@ -35,6 +35,10 @@ PINGPONG_MODES = ("rdma", "p4", "spin_store", "spin_stream")
 PING_TAG = 1
 
 
+def _discard(_event) -> None:
+    """Continuation for chained puts whose injection-done event is unused."""
+
+
 def pingpong_half_rtt_ns(size: int, mode: str, config: MachineConfig | str,
                          noise=None, timeline_sink: list | None = None) -> float:
     """Half round-trip time in nanoseconds for one ping-pong.
@@ -64,13 +68,19 @@ def pingpong_half_rtt_ns(size: int, mode: str, config: MachineConfig | str,
         ping_eq = target.new_eq()
         sess.install(1, MatchEntry(match_bits=PING_TAG, length=size,
                                    event_queue=ping_eq))
+        cpu = target.cpu
 
-        def responder():
-            yield from target.wait_event(ping_eq)  # poll for completion
-            yield from target.cpu.match()          # software matching
-            yield from target.host_put(0, size, match_bits=PONG_TAG)
+        # Chain form of the old responder process (poll the completion,
+        # match in software, post the pong): identical charges on the same
+        # core at the same timestamps, without the process scaffolding.
+        def respond(_event):
+            cpu.run_fn(cpu.params.poll_cost_ps, "poll",
+                       lambda: cpu.run_fn(cpu.params.match_cost_ps, "match",
+                                          lambda: target.host_put_fn(
+                                              0, size, _discard,
+                                              match_bits=PONG_TAG)))
 
-        sess.process(responder())
+        ping_eq.on_next(respond)
     elif mode == "p4":
         ct = target.new_counter()
         sess.install(1, MatchEntry(match_bits=PING_TAG, length=size, counter=ct))
@@ -91,30 +101,25 @@ def pingpong_half_rtt_ns(size: int, mode: str, config: MachineConfig | str,
             hpu_memory=PtlHPUAllocMem(target, 8192),
         ))
 
-    done = env.event()
-    state = {"received": 0, "start": None}
+    result = env.event()
+    state = {"received": 0, "start": env.now}
 
     def pong_watch(ev):
         state["received"] += ev.length
         if state["received"] >= size:
-            done.succeed(env.now)
+            # Origin CPU observes the pong completion (poll cost, symmetric
+            # with the responder side), then the measurement completes.
+            origin.cpu.run_fn(
+                origin.cpu.params.poll_cost_ps, "poll",
+                lambda: result.succeed(env.now - state["start"]))
         else:
             pong_eq.on_next(pong_watch)
 
     pong_eq.on_next(pong_watch)
-
-    def pinger():
-        state["start"] = env.now
-        yield from origin.host_put(1, size, match_bits=PING_TAG)
-        yield done
-        # Origin CPU observes the pong completion (poll cost, symmetric
-        # with the responder side).
-        yield from origin.cpu.poll()
-        return env.now - state["start"]
-
-    proc = sess.process(pinger())
-    rtt_ps = sess.run(until=proc)
+    origin.host_put_fn(1, size, _discard, match_bits=PING_TAG)
+    rtt_ps = sess.run(until=result)
     sess.drain()  # drain remaining events
+    sess.release()
     return rtt_ps / 2 / 1000.0
 
 

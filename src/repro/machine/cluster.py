@@ -37,6 +37,19 @@ FABRIC_FLAVOURS = {
 }
 
 
+#: Shared NILimits instances keyed by MTU — frozen dataclass, so every
+#: Machine with the same MTU can use the same object instead of re-running
+#: the dataclass machinery per rank.
+_LIMITS_BY_MTU: dict[int, NILimits] = {}
+
+
+def _limits_for_mtu(mtu: int) -> NILimits:
+    limits = _LIMITS_BY_MTU.get(mtu)
+    if limits is None:
+        limits = _LIMITS_BY_MTU[mtu] = NILimits(max_payload_size=mtu)
+    return limits
+
+
 class Machine:
     """One simulated endpoint: host + NIC + DMA + Portals NI."""
 
@@ -64,7 +77,7 @@ class Machine:
             env, config.host, self.mem_port, rank=rank, noise=noise,
             timeline=self.timeline,
         )
-        limits = NILimits(max_payload_size=config.loggp.mtu)
+        limits = _limits_for_mtu(config.loggp.mtu)
         self.ni = NetworkInterface(rank, limits=limits, memory=self.memory)
         self.dma = DMAEngine(
             env,
@@ -77,6 +90,21 @@ class Machine:
         )
         self.nic = nic_factory(env, self)
         fabric.attach(rank, self.nic.on_packet)
+
+    def reset(self) -> None:
+        """Restore construction state (cluster reuse; see Session pooling).
+
+        Pooled clusters are built ``with_memory=False``; a machine that
+        does own a memory arena cannot be handed to a new tenant (stale
+        bytes where a fresh arena guarantees zeros), so reset refuses.
+        """
+        if self.memory is not None:
+            raise ValueError("cannot reset a machine with a host memory arena")
+        self.mem_port.reset()
+        self.cpu.reset()
+        self.ni.reset()
+        self.dma.reset()
+        self.nic.reset()
 
     # -- Portals conveniences --------------------------------------------------
     def new_eq(self, capacity: int = 1 << 16) -> EventQueue:
@@ -127,6 +155,49 @@ class Machine:
             },
         )
         return self.nic.send(msg, from_host=from_host)
+
+    def host_put_fn(
+        self,
+        target: int,
+        nbytes: int,
+        k: Any,
+        match_bits: int = 0,
+        pt_index: int = 0,
+        payload=None,
+        offset: int = 0,
+        hdr_data: int = 0,
+        user_hdr: Any = None,
+        ack: bool = False,
+        md: Optional[MemoryDescriptor] = None,
+        from_host: bool = True,
+    ) -> None:
+        """Chain flavour of :meth:`host_put`: ``k(done)`` gets the
+        injection-done event once the post overhead has been charged.
+
+        Same kernel events at the same positions as the generator (the
+        ``o`` charge on a core, then the NIC send), minus the process
+        scaffolding; see :meth:`HostCPU.run_fn`.
+        """
+        def posted() -> None:
+            msg = Message(
+                source=self.rank,
+                target=target,
+                length=nbytes,
+                kind="put",
+                match_bits=match_bits,
+                offset=offset,
+                hdr_data=hdr_data,
+                user_hdr=user_hdr,
+                payload=payload,
+                meta={
+                    "pt_index": pt_index,
+                    "ack": ack,
+                    "md_id": md.md_id if md else -1,
+                },
+            )
+            k(self.nic.send(msg, from_host=from_host))
+
+        self.cpu.run_fn(self.config.loggp.o_ps, "post", posted)
 
     def host_get(
         self,
@@ -215,6 +286,22 @@ class Cluster:
 
     def __getitem__(self, rank: int) -> Machine:
         return self.machines[rank]
+
+    def reset(self) -> None:
+        """Rewind the whole system to its just-built state (reuse).
+
+        Equivalent to constructing a fresh cluster with the same spec: the
+        kernel rewinds to t=0 with seq 0, the message-id space restarts
+        (same invariant as construction — one active cluster per process),
+        and every machine and the fabric restore their construction state.
+        Raises if the DES still has pending events.
+        """
+        self.env.reset()
+        reset_msg_ids()
+        self.timeline.clear()
+        for machine in self.machines:
+            machine.reset()
+        self.fabric.reset()
 
     def run(self, until=None):
         return self.env.run(until=until)

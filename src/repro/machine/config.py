@@ -86,6 +86,17 @@ class MachineConfig:
     #: Default host memory arena per process, bytes (numpy-backed).
     host_memory_bytes: int = 16 * 1024 * 1024
 
+    def __hash__(self) -> int:
+        # The dataclass-generated hash recurses through every nested
+        # params dataclass; the session pool hashes configs on each
+        # checkout/release, so memoize it (all parts are frozen).
+        h = getattr(self, "_hash", None)
+        if h is None:
+            h = hash((self.host, self.nic, self.network,
+                      self.host_memory_bytes))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @property
     def loggp(self) -> LogGPParams:
         return self.network.loggp
@@ -107,13 +118,28 @@ class MachineConfig:
 CROSS_POD_LATENCY_PS = NetworkParams().latency_for_hops(5)
 
 
+#: Memoized name → config instances.  MachineConfig is frozen (as are its
+#: parts), so handing every caller the same object is safe — and experiment
+#: code resolves "int"/"dis" once per simulated session, which adds up in
+#: construction-heavy perf baskets.
+_CONFIG_CACHE: dict = {}
+
+
 def config_by_name(name: str, **nic_overrides) -> MachineConfig:
     """'int' / 'dis' → the §4.3 machine configurations."""
+    if not nic_overrides:
+        cached = _CONFIG_CACHE.get(name)
+        if cached is not None:
+            return cached
     if name in ("int", "integrated"):
-        return integrated_config(**nic_overrides)
-    if name in ("dis", "discrete"):
-        return discrete_config(**nic_overrides)
-    raise ValueError(f"unknown config {name!r} (use 'int' or 'dis')")
+        config = integrated_config(**nic_overrides)
+    elif name in ("dis", "discrete"):
+        config = discrete_config(**nic_overrides)
+    else:
+        raise ValueError(f"unknown config {name!r} (use 'int' or 'dis')")
+    if not nic_overrides:
+        _CONFIG_CACHE[name] = config
+    return config
 
 
 def discrete_config(**nic_overrides) -> MachineConfig:

@@ -56,6 +56,11 @@ class DMAEngine:
         self.bytes_read = 0
         self.bytes_written = 0
 
+    def reset(self) -> None:
+        """Zero the transfer accounting (cluster reuse)."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+
     # -- helpers -----------------------------------------------------------
     def _bw_ps(self, nbytes: int) -> int:
         return self.params.dma_per_op_ps + round(nbytes * self.G_eff)
@@ -94,7 +99,7 @@ class DMAEngine:
                 self.memory.write(offset, data)
             completed.succeed(self.env.now)
 
-        self.env.schedule_callback(self.latency_ps, land)
+        self.env.schedule_fn(self.latency_ps, land)
         return completed
 
     def write_blocking(self, offset: int, data, nbytes: Optional[int] = None,

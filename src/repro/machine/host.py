@@ -22,6 +22,9 @@ from repro.network.noise import NoNoise
 
 __all__ = ["HostCPU", "HostMemory"]
 
+#: Stateless default noise model: one instance serves every CPU.
+_NO_NOISE = NoNoise()
+
 
 class HostMemory:
     """A process's host memory: numpy arena + bump allocator."""
@@ -86,10 +89,22 @@ class HostCPU:
         self.params = params
         self.mem_port = mem_port
         self.rank = rank
-        self.noise = noise or NoNoise()
+        self.noise = noise or _NO_NOISE
         self.timeline = timeline or Timeline(enabled=False)
         self.cores = Resource(env, capacity=params.cores)
         self.busy_ps: int = 0
+
+    def reset(self) -> None:
+        """Restore construction state (cluster reuse).
+
+        The noise model snaps back to the shared no-noise default: pooled
+        clusters are only built with ``noise=None`` (see Session pooling),
+        so scenario code that set a per-CPU noise model mid-run must not
+        leak it into the next tenant.
+        """
+        self.busy_ps = 0
+        self.noise = _NO_NOISE
+        self.cores.reset()
 
     # -- primitive: timed work on a core ----------------------------------
     def run(self, work_ps: int, label: str = "work") -> Generator:
@@ -107,6 +122,39 @@ class HostCPU:
         self.busy_ps += now - start
         if self.timeline.enabled:
             self.timeline.record(self.rank, "CPU", start, now, label)
+
+    def run_fn(self, work_ps: int, label: str, k: Any) -> None:
+        """Chain flavour of :meth:`run`: ``k()`` fires when the work ends.
+
+        Pushes exactly the kernel events the generator path pushes — the
+        core grant (synchronous when uncontended, the identical FIFO queue
+        position otherwise) and the finish timeout — so timestamps, trace
+        spans, and contention order match the generator byte-for-byte.
+        What it skips is the generator resumption machinery; scenario
+        fast paths chain through this the way the fabric's ``_TxChain``
+        chains through the wire server.
+        """
+        req = self.cores.request()
+        if req.callbacks is None:
+            self._run_fn_granted(req, work_ps, label, k)
+        else:
+            req.callbacks.append(
+                lambda _ev: self._run_fn_granted(req, work_ps, label, k))
+
+    def _run_fn_granted(self, req: Any, work_ps: int, label: str, k: Any) -> None:
+        env = self.env
+        start = env._now
+        finish = self.noise.finish(start, work_ps)
+
+        def done() -> None:
+            self.cores.release(req)
+            now = env._now
+            self.busy_ps += now - start
+            if self.timeline.enabled:
+                self.timeline.record(self.rank, "CPU", start, now, label)
+            k()
+
+        env.schedule_fn(finish - start, done)
 
     def compute_cycles(self, cycles: float, label: str = "compute") -> Generator:
         """Occupy one core for an instruction count (IPC-adjusted)."""

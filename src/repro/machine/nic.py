@@ -99,13 +99,16 @@ class _RxChain:
         nic = self.nic
         self.t0 = nic.env._now
         self.req = req = nic.match_unit.request()
-        req.callbacks.append(self._match_granted)
+        if req.callbacks is None:
+            self._match_granted(req)
+        else:
+            req.callbacks.append(self._match_granted)
 
     def _match_granted(self, _event: Event) -> None:
         nic = self.nic
         params = nic.params
         dur = params.header_match_ps if self.pkt.is_header else params.cam_lookup_ps
-        nic.env.schedule_callback(dur, self._match_done)
+        nic.env.schedule_fn(dur, self._match_done)
 
     def _match_done(self) -> None:
         """Match-unit service done: account, release, dispatch the deposit."""
@@ -122,9 +125,10 @@ class _RxChain:
         mu.jobs_served += 1
         mu.release(self.req)
         self.req = None
-        nic.timeline.record(
-            nic.rank, "NIC", self.t0, now, "match" if is_header else "cam"
-        )
+        if nic.timeline.enabled:
+            nic.timeline.record(
+                nic.rank, "NIC", self.t0, now, "match" if is_header else "cam"
+            )
         if is_header:
             match = nic._match_message(msg)
             self.state = state = _MessageRx(msg, match)
@@ -192,10 +196,13 @@ class _RxChain:
         self.t0 = now
         self.bw = dma._bw_ps(self.nbytes)
         self.req = req = dma.mem_port.request()
-        req.callbacks.append(self._mem_granted)
+        if req.callbacks is None:
+            self._mem_granted(req)
+        else:
+            req.callbacks.append(self._mem_granted)
 
     def _mem_granted(self, _event: Event) -> None:
-        self.nic.env.schedule_callback(self.bw, self._mem_done)
+        self.nic.env.schedule_fn(self.bw, self._mem_done)
 
     def _mem_done(self) -> None:
         """Memory-port service done: durability callback + bookkeeping."""
@@ -221,7 +228,7 @@ class _RxChain:
                 memory.write(offset, data)
             completed.succeed(env._now)
 
-        env.schedule_callback(dma.latency_ps, land)
+        env.schedule_fn(dma.latency_ps, land)
         state = self.state
         state.dma_events.append(completed)
         state.bytes_seen += nbytes
@@ -255,12 +262,10 @@ class _SendChain:
         self.done = Event(nic.env)
         self.bw = 0
         self.req = None
-        nic.env.schedule_callback(0, self._begin, PRIORITY_URGENT)
-
-    def _begin(self) -> None:
-        nic = self.nic
+        # Begin synchronously (no URGENT 0-delay hop): _staged's timestamp
+        # is identical and the counter bump is not simulation-visible.
         nic.messages_sent += 1
-        nic.env.schedule_callback(nic.machine.dma.latency_ps, self._staged)
+        nic.env.schedule_fn(nic.machine.dma.latency_ps, self._staged)
 
     def _staged(self) -> None:
         nic = self.nic
@@ -268,10 +273,13 @@ class _SendChain:
         dma = nic.machine.dma
         self.bw = nic.params.dma_per_op_ps + round(first * dma.G_eff)
         self.req = req = nic.machine.mem_port.request()
-        req.callbacks.append(self._granted)
+        if req.callbacks is None:
+            self._granted(req)
+        else:
+            req.callbacks.append(self._granted)
 
     def _granted(self, _event: Event) -> None:
-        self.nic.env.schedule_callback(self.bw, self._filled)
+        self.nic.env.schedule_fn(self.bw, self._filled)
 
     def _filled(self) -> None:
         nic = self.nic
@@ -317,6 +325,14 @@ class BaselineNIC:
         #: dropped upstream by the congestion fabric).
         self.rx_orphan_packets = 0
 
+    def reset(self) -> None:
+        """Restore construction state (cluster reuse; see Session pooling)."""
+        self.match_unit.reset()
+        self._rx.clear()
+        self.messages_received = 0
+        self.messages_sent = 0
+        self.rx_orphan_packets = 0
+
     @property
     def pending_rx(self) -> int:
         """In-flight receiver message states (``_MessageRx`` entries)."""
@@ -353,9 +369,10 @@ class BaselineNIC:
     def on_packet(self, pkt: Packet) -> None:
         """Fabric delivery entry point (one pipeline per packet)."""
         if self.fast_rx:
-            self.env.schedule_callback(
-                0, _RxChain(self, pkt)._begin, PRIORITY_URGENT
-            )
+            # Begin synchronously: match-unit requests join the FIFO in
+            # delivery order either way, and every downstream timestamp is
+            # unchanged — the URGENT 0-delay hop only cost a queue trip.
+            _RxChain(self, pkt)._begin()
         else:
             self.env.process(self._rx_packet(pkt), name=self._rx_name)
 

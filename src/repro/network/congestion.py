@@ -174,6 +174,18 @@ class CongestionFabric(Fabric):
         #: last packet (packets of one message always dispatch in order).
         self._routes: dict[int, tuple] = {}
 
+    def reset(self) -> None:
+        """Restore construction state (cluster reuse).
+
+        Links are created lazily, so dropping them wholesale restores the
+        just-built shape; the route cache only ever holds in-flight
+        messages and must be empty by now anyway.
+        """
+        super().reset()
+        self.links.clear()
+        self.packets_dropped_links = 0
+        self._routes.clear()
+
     # -- routing -----------------------------------------------------------
     def _link(self, u: tuple, v: tuple) -> Link:
         key = (u, v)
@@ -228,7 +240,7 @@ class CongestionFabric(Fabric):
     def _dispatch(self, pkt: Packet, latency: int) -> None:
         route = self._route_for(pkt)
         if not route:  # loopback: same zero-latency delivery as LogGP
-            self.env.schedule_callback(latency, partial(self._deliver, pkt))
+            self.env.schedule_fn(latency, partial(self._deliver, pkt))
             return
         self._enter(pkt, route, 0)
 
@@ -248,7 +260,7 @@ class CongestionFabric(Fabric):
             self.packets_dropped_links += 1
             return
         if self.fast_path:
-            env.schedule_callback(wait, partial(self._departed, pkt, route, hop))
+            env.schedule_fn(wait, partial(self._departed, pkt, route, hop))
         else:
             gate = Timeout(env, wait)
             env.process(self._hop_proc(gate, pkt, route, hop),
@@ -259,9 +271,9 @@ class CongestionFabric(Fabric):
         link, delay = route[hop]
         nxt = hop + 1
         if nxt == len(route):
-            self.env.schedule_callback(delay, partial(self._deliver, pkt))
+            self.env.schedule_fn(delay, partial(self._deliver, pkt))
         else:
-            self.env.schedule_callback(delay, partial(self._enter, pkt, route, nxt))
+            self.env.schedule_fn(delay, partial(self._enter, pkt, route, nxt))
 
     def _hop_proc(self, gate: Timeout, pkt: Packet, route: tuple,
                   hop: int) -> Generator:

@@ -87,7 +87,7 @@ class _TxChain:
         fabric.messages_injected += 1
         grant_at = fabric._msg_limiter[self.src].claim()
         self.latency = fabric.topology.latency_ps(self.src, self.message.target)
-        env.schedule_callback(grant_at - env._now, self._turn)
+        env.schedule_fn(grant_at - env._now, self._turn)
 
     def _turn(self) -> None:
         """g slot reached: join the wire FIFO for the first packet."""
@@ -98,10 +98,13 @@ class _TxChain:
         self.pkt_start = self.fabric.env._now
         self.cur_dur = self.loggp.serialization_ps(self.packets[self.idx].wire_bytes)
         self.req = req = self.wire.request()
-        req.callbacks.append(self._granted)
+        if req.callbacks is None:
+            self._granted(req)
+        else:
+            req.callbacks.append(self._granted)
 
     def _granted(self, _event: Event) -> None:
-        self.fabric.env.schedule_callback(self.cur_dur, self._serve_done)
+        self.fabric.env.schedule_fn(self.cur_dur, self._serve_done)
 
     def _serve_done(self) -> None:
         """One packet finished serializing (mirrors the serve timeout)."""
@@ -177,6 +180,22 @@ class Fabric:
         self._msg_limiter.pop(nid, None)
         self._wire.pop(nid, None)
 
+    def reset(self) -> None:
+        """Restore construction state, keeping attachments (cluster reuse).
+
+        Per-node rate limiters and wire servers are rewound so the next
+        tenant's first message sees a fresh ``g`` window and clean
+        accounting; the rx entry points stay attached — the machines are
+        being reused too.
+        """
+        for limiter in self._msg_limiter.values():
+            limiter.reset()
+        for wire in self._wire.values():
+            wire.reset()
+        self.packets_delivered = 0
+        self.messages_injected = 0
+        self.packets_dropped = 0
+
     # -- transmission ----------------------------------------------------------
     def inject(self, message: Message) -> Event:
         """Hand a message to the source NIC's TX pipeline.
@@ -191,7 +210,10 @@ class Fabric:
             raise ValueError(f"source node {src} not attached")
         if self.fast_path:
             chain = _TxChain(self, message)
-            self.env.schedule_callback(0, chain._start, PRIORITY_URGENT)
+            # Start synchronously: the g-slot claim happens in inject order
+            # either way, and _turn's timestamp is unchanged — the URGENT
+            # 0-delay hop this used to take bought only a queue round-trip.
+            chain._start()
             return chain.done
         return self.env.process(
             self._send_proc(message), name=f"tx[{src}->{message.target}]"
@@ -225,7 +247,7 @@ class Fabric:
         The LogGP model teleports it across the topology latency; the
         congestion fabric overrides this with a routed per-link walk.
         """
-        self.env.schedule_callback(latency, partial(self._deliver, pkt))
+        self.env.schedule_fn(latency, partial(self._deliver, pkt))
 
     def _deliver(self, pkt: Packet) -> None:
         rx = self._rx.get(pkt.message.target)

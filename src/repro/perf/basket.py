@@ -1,6 +1,6 @@
 """The perf basket: fixed scenario mixes whose throughput we track per PR.
 
-Five baskets cover the simulator's load profiles:
+Six baskets cover the simulator's load profiles:
 
 * **small-message** — message-rate-bound pingpongs (64 B), every protocol;
 * **large-message** — bandwidth-bound 64 KiB pingpongs (16 packets/msg),
@@ -9,7 +9,9 @@ Five baskets cover the simulator's load profiles:
   RDMA and sPIN protocols (deep pipelines, heavy contention);
 * **app-scale** — full-application trace matching at 16 ranks;
 * **congestion** — incast and permutation mixes on the congestion fabric
-  (per-link routed walks dominate; added with the fabric in PR 4).
+  (per-link routed walks dominate; added with the fabric in PR 4);
+* **kernel-ops** — pure event-queue churn with no model code, isolating
+  the calendar/heap core itself (added with the calendar queue in PR 6).
 
 ``run_baskets`` executes each basket under a :class:`KernelMeter` and
 reports wall seconds, kernel events, and events/sec.  ``python -m
@@ -86,6 +88,55 @@ def _congestion(scale: int) -> None:
                          "routing": "dmodk", "seed": 3})
 
 
+def _kernel_ops(scale: int) -> None:
+    """Pure event-kernel churn: no machines, just the queue core.
+
+    The scenario baskets are dominated by model code (NIC chains, fabric,
+    matching), so a queue-core regression can hide inside their noise.
+    This basket schedules and drains events with no model at all,
+    exercising every queue path the simulator leans on: same-bucket
+    pushes, far-future pushes (ring rotations / overflow), urgent-vs-
+    normal priority ties, mid-drain nested scheduling, and cancellations.
+    The mix is a fixed xorshift64 stream — identical run to run.
+    """
+    from repro.des.engine import _BUCKET_SHIFT, PRIORITY_URGENT, Environment
+
+    bucket = 1 << _BUCKET_SHIFT
+    for rep in range(scale):
+        env = Environment()
+        seed = 88172645463325252 + rep
+
+        def rng() -> int:
+            nonlocal seed
+            seed ^= (seed << 13) & 0xFFFFFFFFFFFFFFFF
+            seed ^= seed >> 7
+            seed ^= (seed << 17) & 0xFFFFFFFFFFFFFFFF
+            return seed
+
+        def tick(depth: int) -> None:
+            # Mid-drain push: what driver chains do on every hop.
+            if depth:
+                r = rng()
+                delay = r % (bucket if r & 1 else 64 * bucket)
+                env.schedule_fn(delay, lambda: tick(depth - 1),
+                                PRIORITY_URGENT if r & 4 else 1)
+
+        handles = []
+        for _ in range(2000):
+            r = rng()
+            if r & 7 == 0:
+                delay = bucket * (r % 512)     # far: rotations/overflow
+            else:
+                delay = r % (2 * bucket)       # near: current/adjacent
+            if r & 3 == 0:
+                handles.append(env.schedule_callback(delay, lambda: None))
+            else:
+                env.schedule_fn(delay, lambda: tick(2))
+        for handle in handles[::2]:
+            handle.cancel()
+        env.run()
+
+
 #: name -> (workload fn taking a scale factor, full-run scale, tiny scale)
 #: Tiny scales are sized so each measurement window is tens of ms at least;
 #: shorter windows make events/sec hostage to a single scheduler preemption.
@@ -95,6 +146,7 @@ BASKETS: dict[str, tuple[Callable[[int], None], int, int]] = {
     "storage-trace": (_storage_trace, 12, 2),
     "app-scale": (_app_scale, 6, 1),
     "congestion": (_congestion, 12, 1),
+    "kernel-ops": (_kernel_ops, 120, 8),
 }
 
 

@@ -118,6 +118,10 @@ class _DriverBase:
         """
         env = machine.env
         stats = self.metrics.stream(stream)
+        # Copy before popping: a make_request hook may return a shared or
+        # constant dict, and mutating it here would corrupt the caller's
+        # request (every put after the first losing target/nbytes).
+        request = dict(request)
         target = request.pop("target")
         nbytes = request.pop("nbytes")
         eq = EventQueue(capacity=4, name=f"drv[{machine.rank}]")

@@ -163,7 +163,13 @@ class Metrics:
             out[key] = value
         if elapsed_ps is not None:
             out["elapsed_ns"] = elapsed_ps / 1000.0
-        if per_stream and len(self.streams) > 1:
+        # Any named stream gets its breakdown — a single-stream workload
+        # previously lost its per-stream keys entirely (the breakdown only
+        # appeared with two or more streams), so downstream consumers keyed
+        # on "<stream>.completed" saw the keys vanish when a sweep point
+        # happened to exercise one stream.  (Cache records are keyed by the
+        # source digest, so stale summaries age out automatically.)
+        if per_stream and self.streams:
             for name in sorted(self.streams):
                 for key, value in self.streams[name].summary(elapsed_ps).items():
                     out[f"{name}.{key}"] = value

@@ -25,7 +25,8 @@ from typing import Any, Callable, Generator, Optional, Union
 
 from repro.core.channel import Channel, connect as _connect
 from repro.core.nic import SpinNIC
-from repro.des.engine import Environment, Event, Process
+from repro.des import engine as _engine
+from repro.des.engine import Environment, Event, Process, SimulationError, env_flag
 from repro.des.trace import Timeline
 from repro.machine.cluster import Cluster, Machine
 from repro.machine.config import (
@@ -34,6 +35,7 @@ from repro.machine.config import (
     config_by_name,
 )
 from repro.machine.nic import BaselineNIC
+from repro.network.packets import reset_msg_ids
 from repro.network.topology import FatTree, UniformLatency
 from repro.portals.matching import MatchEntry
 from repro.portals.types import PortalsError
@@ -45,6 +47,27 @@ _NIC_FACTORIES: dict[str, Callable] = {
     "spin": SpinNIC,
     "baseline": BaselineNIC,
 }
+
+#: Reusable drained sessions, keyed by :meth:`ClusterSpec.pool_key`.
+#: Microbenchmark sweeps build the same two-node cluster thousands of
+#: times; :meth:`Session.checkout` / :meth:`Session.release` amortize that
+#: construction by rewinding a finished session to its just-built state
+#: (the reset-equivalence tests pin reuse == fresh, trace-digest included).
+#: ``REPRO_SESSION_POOL=0`` disables pooling entirely.
+_POOL: dict[tuple, list["Session"]] = {}
+
+#: Sessions kept per key — sweeps are serial, so one is typically enough;
+#: a little headroom covers nested scenarios.
+_POOL_DEPTH = 4
+
+
+def _pool_enabled() -> bool:
+    return env_flag("REPRO_SESSION_POOL")
+
+
+def _pool_clear() -> None:
+    """Drop every pooled session (test isolation)."""
+    _POOL.clear()
 
 
 @dataclass(frozen=True)
@@ -79,6 +102,30 @@ class ClusterSpec:
     fabric: str = "loggp"
     link_queue_depth: Optional[int] = None
     routing: Optional[str] = None
+
+    def pool_key(self) -> Optional[tuple]:
+        """Hashable reuse-pool key, or ``None`` when the spec is unpoolable.
+
+        Only the construction-pure slice of the spec space is pooled: no
+        tracing (a reused timeline must stay byte-identical anyway, but
+        trace runs are rare and cheap to build), no noise model, no host
+        memory arena (a fresh arena guarantees zeroed bytes; a reused one
+        cannot), the contention-free LogGP fabric, and the ``"pair"``
+        topology — topology *objects* are passed verbatim and may carry
+        caller state.  Within that slice a session's identity is exactly
+        ``(nodes, config, nic, latency_ps)``.
+        """
+        if (
+            self.trace
+            or self.noise is not None
+            or self.with_memory
+            or self.fabric != "loggp"
+            or self.topology != "pair"
+            or self.link_queue_depth is not None
+            or self.routing is not None
+        ):
+            return None
+        return (self.nodes, self.config, self.nic, self.latency_ps)
 
     def resolve_config(self) -> MachineConfig:
         config = (config_by_name(self.config) if isinstance(self.config, str)
@@ -143,8 +190,34 @@ class Session:
         #: was lost in the network (congestion tail-drop) — keyed by rank.
         self.stalled_rx: dict[int, int] = {}
         self._closed = False
+        self._pool_key: Optional[tuple] = None
 
     # -- convenience constructors -----------------------------------------
+    @classmethod
+    def checkout(cls, spec: ClusterSpec) -> "Session":
+        """A session for ``spec`` — pooled when possible, else freshly built.
+
+        A pooled session was rewound by :meth:`release` to exactly its
+        just-built state; the only process-global touch-up needed here is
+        the message-id space, which an unrelated cluster constructed in the
+        meantime may have advanced (construction restarts it too, so reuse
+        and fresh build agree).
+        """
+        key = spec.pool_key() if _pool_enabled() else None
+        if key is not None:
+            stack = _POOL.get(key)
+            if stack:
+                sess = stack.pop()
+                sess._pool_key = key  # re-armed (cleared while pooled)
+                reset_msg_ids()
+                if _engine._METER is not None:
+                    # A fresh build would register at Environment.__init__;
+                    # reused environments must be visible to the meter too.
+                    _engine._METER.register(sess.env)
+                return sess
+        sess = cls(spec)
+        sess._pool_key = key
+        return sess
     @classmethod
     def pair(cls, config: Union[MachineConfig, str] = "int", nodes: int = 2,
              **overrides: Any) -> "Session":
@@ -245,6 +318,33 @@ class Session:
             except PortalsError:
                 pass  # already unlinked by scenario code
         self.channels.clear()
+
+    def release(self) -> None:
+        """Hand the session back to the reuse pool (or just close it).
+
+        Pool entry requires a drained kernel and a clean cluster rewind;
+        anything else — unpoolable spec, pending events, a full pool —
+        degrades to a plain :meth:`close`, so scenarios can call this
+        unconditionally at the end of a measurement.
+        """
+        key = self._pool_key
+        self.close()
+        if key is None:
+            return
+        stack = _POOL.setdefault(key, [])
+        if len(stack) >= _POOL_DEPTH or self.env.peek() is not None:
+            return
+        try:
+            self.cluster.reset()
+        except (SimulationError, ValueError):
+            return
+        self._closed = False
+        self.stalled_rx = {}
+        # Disarm until the next checkout: a stray second release() must
+        # not enter the same object into the pool twice (two tenants
+        # would alias one cluster).
+        self._pool_key = None
+        stack.append(self)
 
     def __enter__(self) -> "Session":
         return self

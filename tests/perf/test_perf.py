@@ -51,7 +51,7 @@ class TestBasket:
         # Append-only: existing entries must never change or reorder.
         assert list(BASKETS) == [
             "small-message", "large-message", "storage-trace", "app-scale",
-            "congestion",
+            "congestion", "kernel-ops",
         ]
 
     def test_tiny_run_produces_document(self):
@@ -83,6 +83,19 @@ class TestCommittedBench:
             assert opt[name]["events_per_sec"] > base[name]["events_per_sec"]
         assert bench["speedup_events_per_sec"]["full"]
 
+    def test_bench_6_exists_and_shows_wall_speedup(self):
+        bench = json.loads((REPO / "BENCH_6.json").read_text())
+        assert bench["bench"] == 6
+        wall = bench["wall_speedup"]["full"]
+        # Every pre-existing basket must have gotten faster in wall time
+        # (events/sec is allowed to dip: this PR removes kernel events).
+        for name, ratio in wall.items():
+            assert ratio >= 1.0, (name, ratio)
+        assert wall["small-message"] >= 1.4
+        # The new queue-core microbench is measured on the optimized side.
+        assert bench["optimized"]["full"]["baskets"]["kernel-ops"][
+            "kernel_events"] > 0
+
     def test_perf_check_cli_passes_against_committed(self):
         """The CI perf-smoke invocation: tiny basket vs committed numbers.
 
@@ -91,7 +104,7 @@ class TestCommittedBench:
         """
         proc = subprocess.run(
             [sys.executable, "-m", "repro.campaign", "perf", "--tiny",
-             "-b", "small-message", "--check", "BENCH_2.json",
+             "-b", "small-message", "--check", "BENCH_6.json",
              "--min-ratio", "0.2"],
             cwd=REPO, capture_output=True, text=True, timeout=300,
         )

@@ -97,6 +97,26 @@ class TestMetricsRegressions:
         summary = stats.summary(elapsed_ps=0)
         assert summary["throughput_rps"] == 0.0 and summary["gib_s"] == 0.0
 
+    def test_single_stream_keeps_per_stream_keys(self):
+        """One named stream must still get its `<name>.<key>` breakdown.
+
+        The breakdown used to appear only with two or more streams, so a
+        sweep point that happened to exercise a single stream silently
+        lost every `load.*` key downstream consumers were charting.
+        """
+        metrics = Metrics()
+        metrics.stream("load").start()
+        metrics.stream("load").record(1000, nbytes=64)
+        summary = metrics.summary(elapsed_ps=1_000_000)
+        assert summary["load.completed"] == 1
+        assert summary["load.bytes"] == 64
+        assert summary["completed"] == 1  # roll-up still present
+        # per_stream=False still suppresses the breakdown on request.
+        assert "load.completed" not in metrics.summary(per_stream=False)
+        # No streams at all: nothing to break down, no stray keys.
+        assert all("." not in k or k == "elapsed_ns"
+                   for k in Metrics().summary(elapsed_ps=0))
+
 
 class TestMetrics:
     def test_streams_and_total_rollup(self):
@@ -183,6 +203,31 @@ class TestOpenLoopDriver:
             OpenLoopDriver(sess, source=0, target=1, rate_mmps=0.0, count=4)
         with pytest.raises(ValueError):
             OpenLoopDriver(sess, source=0, target=1, rate_mmps=1.0, count=0)
+
+    def test_constant_request_dict_survives_every_put(self):
+        """A make_request hook may return the same dict every time.
+
+        The driver used to ``pop("target")``/``pop("nbytes")`` straight
+        off the hook's return value, so a shared constant dict was
+        stripped by the first request and the second raised ``KeyError``.
+        """
+        sess = _serve_session()
+        metrics = Metrics()
+        constant = {"target": 1, "nbytes": 96, "match_bits": TAG,
+                    "pt_index": 0}
+
+        OpenLoopDriver(
+            sess, source=0, target=1, rate_mmps=1.0, count=5,
+            match_bits=TAG, seed=7, metrics=metrics,
+            make_request=lambda rng, index: constant,
+        ).start()
+        sess.drain()
+        # The hook's dict is untouched and every request was issued off it.
+        assert constant == {"target": 1, "nbytes": 96, "match_bits": TAG,
+                            "pt_index": 0}
+        summary = metrics.summary()
+        assert summary["started"] == 5
+        assert summary["bytes"] == 5 * 96
 
     def _arrival_times(self, rate_mmps: float, count: int,
                        poisson: bool) -> list[int]:
