@@ -143,7 +143,9 @@ def cmd_run(args) -> int:
         pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
         return 0
     res = run_jobs(jobs, cache_path=None if args.no_cache else _cache_path(args),
-                   progress=print if args.verbose else None)
+                   progress=print if args.verbose else None,
+                   retries=args.retries, retry_backoff_s=args.retry_backoff,
+                   job_timeout_s=args.job_timeout)
     _print_records(res)
     return 0
 
@@ -208,7 +210,9 @@ def cmd_sweep(args) -> int:
         _record_manifest(args, args.scenario, grid)
     res = run_jobs(jobs, workers=args.workers, cache_path=cache,
                    progress=print if args.verbose else None,
-                   shard=shard, read_caches=read_caches)
+                   shard=shard, read_caches=read_caches,
+                   retries=args.retries, retry_backoff_s=args.retry_backoff,
+                   job_timeout_s=args.job_timeout)
     if shard is not None:
         print(f"shard {shard} of {len(jobs)} planned jobs:")
     _print_records(res)
@@ -238,7 +242,9 @@ def cmd_resume(args) -> int:
                            cache_path=cache, read_caches=read_caches,
                            base_seed=m.get("base_seed", 0),
                            progress=print if args.verbose else None,
-                           shard=shard)
+                           shard=shard, retries=args.retries,
+                           retry_backoff_s=args.retry_backoff,
+                           job_timeout_s=args.job_timeout)
         except ScenarioError as exc:
             # One stale/broken manifest must not block the others.
             print(f"{m['scenario']}: skipped ({exc})", file=sys.stderr)
@@ -335,6 +341,20 @@ def main(argv=None) -> int:
     parser.add_argument("-v", "--verbose", action="store_true")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_reliability_flags(p) -> None:
+        p.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="re-run a failed or timed-out job up to N more "
+                            "times with exponential backoff; a retried job "
+                            "keeps its planner seed and cache key")
+        p.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS", dest="job_timeout",
+                       help="run each job in its own subprocess and "
+                            "terminate it past this wall-clock budget")
+        p.add_argument("--retry-backoff", type=float, default=0.5,
+                       metavar="SECONDS", dest="retry_backoff",
+                       help="base backoff between attempts "
+                            "(sleep = backoff * 2**attempt; default 0.5)")
+
     p_list = sub.add_parser(
         "list",
         help="list registered scenarios with parameter spaces and sweeps")
@@ -354,6 +374,7 @@ def main(argv=None) -> int:
     p_run.add_argument("--profile", action="store_true",
                        help="run under cProfile and print the top-25 "
                             "cumulative entries (disables the cache)")
+    add_reliability_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_perf = sub.add_parser(
@@ -387,6 +408,7 @@ def main(argv=None) -> int:
                               "round-robin over the planned jobs) into "
                               "results.shard-I-of-K.jsonl")
     p_sweep.add_argument("--no-cache", action="store_true")
+    add_reliability_flags(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_resume = sub.add_parser("resume",
@@ -396,6 +418,7 @@ def main(argv=None) -> int:
     p_resume.add_argument("-w", "--workers", type=int, default=1)
     p_resume.add_argument("--shard", default=None, metavar="I/K",
                           help="replay only shard I of K of every manifest")
+    add_reliability_flags(p_resume)
     p_resume.set_defaults(fn=cmd_resume)
 
     p_merge = sub.add_parser(

@@ -16,6 +16,7 @@ Guarantees:
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import random
 import time
 from dataclasses import dataclass, field
@@ -28,7 +29,12 @@ from repro.campaign.registry import get_scenario
 from repro.campaign.shard import ShardSpec, as_shard
 from repro.campaign.version import code_version
 
-__all__ = ["CampaignResult", "run_grid", "run_jobs", "run_one", "run_points"]
+__all__ = ["CampaignResult", "JobTimeoutError", "run_grid", "run_jobs",
+           "run_one", "run_points"]
+
+
+class JobTimeoutError(RuntimeError):
+    """A job's dedicated subprocess exceeded its wall-clock budget."""
 
 
 @dataclass
@@ -103,6 +109,143 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _attempt_with_retries(payload: tuple, runner: Callable[[tuple], dict],
+                          retries: int, backoff_s: float) -> dict:
+    """Run one job, retrying transient failures with exponential backoff.
+
+    The payload — and with it the planner-assigned seed and cache key —
+    is reused verbatim on every attempt, so a retried job lands in the
+    cache indistinguishable from a first-try success.
+    """
+    for attempt in range(retries + 1):
+        try:
+            return runner(payload)
+        except Exception:
+            if attempt >= retries:
+                raise
+            if backoff_s > 0:
+                time.sleep(backoff_s * (2 ** attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _execute_job_retrying(bundle: tuple) -> dict:
+    """Pool worker entry point carrying its own retry policy.
+
+    Retries run *inside* the (daemonic) worker — it cannot fork a fresh
+    subprocess, but re-running the scenario in-process is exactly as
+    deterministic thanks to the per-attempt RNG reseed.
+    """
+    payload, retries, backoff_s = bundle
+    return _attempt_with_retries(payload, _execute_job, retries, backoff_s)
+
+
+def _subprocess_target(conn, payload: tuple) -> None:  # pragma: no cover
+    try:
+        conn.send(("ok", _execute_job(payload)))
+    except BaseException as exc:
+        conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def _execute_job_bounded(ctx, payload: tuple, timeout_s: float) -> dict:
+    """Run one job in a dedicated subprocess with a wall-clock budget.
+
+    Pool workers cannot be killed mid-job without poisoning the pool, so
+    a bounded job gets its own process: on timeout it is terminated and
+    :class:`JobTimeoutError` raised (which a retry budget then absorbs).
+    """
+    parent, child = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_subprocess_target, args=(child, payload))
+    proc.start()
+    child.close()
+    try:
+        if not parent.poll(timeout_s):
+            proc.terminate()
+            raise JobTimeoutError(
+                f"job {payload[0]} {dict(payload[1])!r} exceeded "
+                f"{timeout_s:g}s"
+            )
+        status, value = parent.recv()
+    except EOFError:
+        raise RuntimeError(
+            f"job subprocess for {payload[0]} died without a result"
+        ) from None
+    finally:
+        proc.join()
+        parent.close()
+    if status != "ok":
+        raise RuntimeError(f"job {payload[0]} failed in subprocess: {value}")
+    return value
+
+
+def _run_bounded_parallel(ctx, payloads: Sequence[tuple], workers: int,
+                          timeout_s: float, retries: int, backoff_s: float,
+                          done: Callable[[dict], None]) -> None:
+    """Process-per-job scheduler: up to ``workers`` bounded jobs at once.
+
+    Used only when a job timeout is requested — each job needs a process
+    the scheduler may terminate, which a shared Pool cannot offer.
+    Completion order feeds ``done`` as results arrive (like
+    ``imap_unordered``); per-job retries re-enqueue the same payload.
+    """
+    queue = [(payload, 0) for payload in reversed(payloads)]
+    live: list = []  # (proc, parent_conn, payload, attempt, deadline)
+    try:
+        while queue or live:
+            while queue and len(live) < workers:
+                payload, attempt = queue.pop()
+                parent, child = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_subprocess_target,
+                                   args=(child, payload))
+                proc.start()
+                child.close()
+                live.append(
+                    (proc, parent, payload, attempt,
+                     time.monotonic() + timeout_s))
+            multiprocessing.connection.wait(
+                [parent for _, parent, _, _, _ in live],
+                timeout=max(0.0, min(d for *_, d in live) - time.monotonic()),
+            )
+            still_live = []
+            for proc, parent, payload, attempt, deadline in live:
+                failure: Optional[str] = None
+                if parent.poll():
+                    try:
+                        status, value = parent.recv()
+                    except EOFError:
+                        status, value = "err", "subprocess died"
+                    if status == "ok":
+                        proc.join()
+                        parent.close()
+                        done(value)
+                        continue
+                    failure = value
+                elif time.monotonic() >= deadline:
+                    proc.terminate()
+                    failure = f"exceeded {timeout_s:g}s"
+                else:
+                    still_live.append(
+                        (proc, parent, payload, attempt, deadline))
+                    continue
+                proc.join()
+                parent.close()
+                if attempt >= retries:
+                    name, params = payload[0], dict(payload[1])
+                    raise (JobTimeoutError if "exceeded" in failure
+                           else RuntimeError)(
+                        f"job {name} {params!r} failed: {failure}")
+                if backoff_s > 0:
+                    time.sleep(backoff_s * (2 ** attempt))
+                queue.append((payload, attempt + 1))
+            live = still_live
+    finally:
+        for proc, parent, *_ in live:
+            proc.terminate()
+            proc.join()
+            parent.close()
+
+
 def run_jobs(
     jobs: Sequence[Job],
     workers: int = 1,
@@ -110,6 +253,9 @@ def run_jobs(
     progress: Optional[Callable[[str], None]] = None,
     shard: Optional[ShardSpec | str] = None,
     read_caches: Sequence[str | Path] = (),
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
+    job_timeout_s: Optional[float] = None,
 ) -> CampaignResult:
     """Execute jobs, consulting/filling the cache; returns ordered records.
 
@@ -119,7 +265,18 @@ def run_jobs(
     union exactly the serial sweep.  ``read_caches`` are consulted (but
     never written) before ``cache_path``; a sharded host passes the
     canonical merged cache here so already-merged jobs execute nothing.
+
+    ``retries`` re-runs a job that raised (or timed out) up to N more
+    times with exponential backoff (``retry_backoff_s * 2**attempt``);
+    every attempt reuses the planner's payload verbatim, so the seed and
+    cache key of a retried job are unchanged.  ``job_timeout_s`` runs
+    each job in a dedicated subprocess and terminates it past the budget
+    (:class:`JobTimeoutError` — absorbed by the retry budget, if any).
     """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if job_timeout_s is not None and job_timeout_s <= 0:
+        raise ValueError(f"job_timeout_s must be > 0, got {job_timeout_s}")
     t_start = time.perf_counter()
     version = code_version()
     shard_spec = as_shard(shard)
@@ -156,26 +313,36 @@ def run_jobs(
         (job.scenario, job.params, job.seed, job.key, version) for job in pending
     ]
     executed = 0
+
+    def record(rec: dict) -> None:
+        nonlocal executed
+        by_key[rec["key"]] = rec
+        if cache is not None:
+            cache.append(rec)
+        executed += 1
+        note(f"[{executed}/{len(payloads)}] done "
+             f"{rec['scenario']} {rec['params']}")
+
     if payloads:
-        if workers > 1:
+        if workers > 1 and job_timeout_s is not None:
+            _run_bounded_parallel(_mp_context(), payloads, workers,
+                                  job_timeout_s, retries, retry_backoff_s,
+                                  record)
+        elif workers > 1:
             ctx = _mp_context()
+            bundles = [(p, retries, retry_backoff_s) for p in payloads]
             with ctx.Pool(processes=min(workers, len(payloads))) as pool:
-                for rec in pool.imap_unordered(_execute_job, payloads):
-                    by_key[rec["key"]] = rec
-                    if cache is not None:
-                        cache.append(rec)
-                    executed += 1
-                    note(f"[{executed}/{len(payloads)}] done "
-                         f"{rec['scenario']} {rec['params']}")
+                for rec in pool.imap_unordered(_execute_job_retrying, bundles):
+                    record(rec)
         else:
+            if job_timeout_s is None:
+                runner = _execute_job
+            else:
+                ctx = _mp_context()
+                runner = lambda p: _execute_job_bounded(ctx, p, job_timeout_s)
             for payload in payloads:
-                rec = _execute_job(payload)
-                by_key[rec["key"]] = rec
-                if cache is not None:
-                    cache.append(rec)
-                executed += 1
-                note(f"[{executed}/{len(payloads)}] done "
-                     f"{rec['scenario']} {rec['params']}")
+                record(_attempt_with_retries(payload, runner, retries,
+                                             retry_backoff_s))
 
     return CampaignResult(
         jobs=list(jobs),
@@ -196,11 +363,16 @@ def run_grid(
     progress: Optional[Callable[[str], None]] = None,
     shard: Optional[ShardSpec | str] = None,
     read_caches: Sequence[str | Path] = (),
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
+    job_timeout_s: Optional[float] = None,
 ) -> CampaignResult:
     """Plan a grid sweep and execute it (the main campaign entry point)."""
     jobs = plan_grid(scenario, grid, base_seed=base_seed, overrides=overrides)
     return run_jobs(jobs, workers=workers, cache_path=cache_path,
-                    progress=progress, shard=shard, read_caches=read_caches)
+                    progress=progress, shard=shard, read_caches=read_caches,
+                    retries=retries, retry_backoff_s=retry_backoff_s,
+                    job_timeout_s=job_timeout_s)
 
 
 def run_points(
@@ -212,11 +384,16 @@ def run_points(
     progress: Optional[Callable[[str], None]] = None,
     shard: Optional[ShardSpec | str] = None,
     read_caches: Sequence[str | Path] = (),
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
+    job_timeout_s: Optional[float] = None,
 ) -> CampaignResult:
     """Plan and execute an explicit list of parameter points."""
     jobs = plan_points(scenario, points, base_seed=base_seed)
     return run_jobs(jobs, workers=workers, cache_path=cache_path,
-                    progress=progress, shard=shard, read_caches=read_caches)
+                    progress=progress, shard=shard, read_caches=read_caches,
+                    retries=retries, retry_backoff_s=retry_backoff_s,
+                    job_timeout_s=job_timeout_s)
 
 
 def run_one(

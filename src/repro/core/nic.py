@@ -252,6 +252,10 @@ class SpinNIC(BaselineNIC):
                 )
         except HandlerError:
             code = ReturnCode.SEGV
+        if self._handler_fault is not None:
+            # Fault injection (repro.faults): a plan may replace the
+            # return code with an error — the HPU "crashed" mid-message.
+            code = self._handler_fault(label, code)
         ctx.charge(cost.return_cycles)
         # Inlined ctx.elapse().
         cycles, ctx._cycles = ctx._cycles, 0

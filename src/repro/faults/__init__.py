@@ -1,0 +1,40 @@
+"""Deterministic fault injection: seeded plans armed on live sessions.
+
+Quickstart::
+
+    from repro.faults import FaultPlan, PacketLoss
+    from repro.sim import Session
+
+    with Session.pair("int") as sess:
+        sess.attach_faults(FaultPlan(faults=(PacketLoss(0.05),), seed=7))
+        ...  # drive load; 5% of dispatched packets vanish, reproducibly
+
+See :mod:`repro.faults.plan` for the fault vocabulary (link down/flap,
+degraded bandwidth, packet loss/corruption, node crash, handler failure)
+and :mod:`repro.faults.scenarios` for the registered campaign scenarios
+that pair plans with the reliability layer in :mod:`repro.sim.drivers`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    HandlerFault,
+    LinkDegrade,
+    LinkDown,
+    NodeCrash,
+    PacketCorrupt,
+    PacketLoss,
+    link_flap,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "HandlerFault",
+    "LinkDegrade",
+    "LinkDown",
+    "NodeCrash",
+    "PacketCorrupt",
+    "PacketLoss",
+    "link_flap",
+]

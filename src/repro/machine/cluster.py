@@ -287,6 +287,20 @@ class Cluster:
     def __getitem__(self, rank: int) -> Machine:
         return self.machines[rank]
 
+    def crash(self, rank: int) -> int:
+        """Fail-stop node ``rank`` mid-run (fault injection).
+
+        Detaches it from the fabric (inbound packets are dropped), marks
+        it dead so in-flight sends from its own HPUs/host vanish instead
+        of raising, and reaps its stalled receive states.  Returns the
+        reap count.  Crashes are permanent for the run — there is no
+        rejoin protocol in this model.
+        """
+        machine = self.machines[rank]
+        self.fabric.detach(rank)
+        self.fabric.mark_dead(rank)
+        return machine.nic.reap_stalled()
+
     def reset(self) -> None:
         """Rewind the whole system to its just-built state (reuse).
 

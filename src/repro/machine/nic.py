@@ -303,6 +303,12 @@ class _SendChain:
 class BaselineNIC:
     """An RDMA / Portals 4 NIC attached to one machine."""
 
+    #: Fault-injection hook (see :mod:`repro.faults`): when set on an
+    #: instance, ``(label, code) -> code`` is consulted after each handler
+    #: invocation on sPIN NICs.  A class-level ``None`` keeps the default
+    #: path to a single identity test.
+    _handler_fault = None
+
     def __init__(self, env: Environment, machine) -> None:
         self.env = env
         self.machine = machine
@@ -332,6 +338,8 @@ class BaselineNIC:
         self.messages_received = 0
         self.messages_sent = 0
         self.rx_orphan_packets = 0
+        # Drop any instance-level fault hook back to the class default.
+        self.__dict__.pop("_handler_fault", None)
 
     @property
     def pending_rx(self) -> int:

@@ -76,7 +76,8 @@ class Link:
     """
 
     __slots__ = ("name", "last_depart", "_departs", "packets", "drops",
-                 "wait_ps", "max_queue", "busy_ps")
+                 "wait_ps", "max_queue", "busy_ps", "down", "tx_scale",
+                 "fault_drops")
 
     def __init__(self, name: str):
         self.name = name
@@ -87,6 +88,13 @@ class Link:
         self.wait_ps = 0        # total queueing delay experienced
         self.max_queue = 0      # high-water mark of buffered packets
         self.busy_ps = 0        # total serialization time carried
+        # Fault-injection state (see repro.faults): refcount of active
+        # outage windows and the product of active bandwidth-degradation
+        # scales.  Both neutral by default — admit() behaves identically
+        # to the pre-fault model until a plan flips them.
+        self.down = 0           # >0: outage — every arrival is dropped
+        self.tx_scale = 1       # serialization-time multiplier
+        self.fault_drops = 0    # drops attributable to outage windows
 
     def backlog(self, now: int) -> int:
         """Packets still buffered (departure strictly in the future)."""
@@ -103,10 +111,16 @@ class Link:
         accounting happens here, synchronously — both walk flavours share
         this single decision point.
         """
+        if self.down:
+            self.drops += 1
+            self.fault_drops += 1
+            return -1
         backlog = self.backlog(now)
         if backlog >= depth:
             self.drops += 1
             return -1
+        if self.tx_scale != 1:
+            tx *= self.tx_scale
         depart = self.last_depart + tx
         if depart < now:
             depart = now
@@ -173,6 +187,11 @@ class CongestionFabric(Fabric):
         #: In-flight route cache: msg_id → route; dropped with the message's
         #: last packet (packets of one message always dispatch in order).
         self._routes: dict[int, tuple] = {}
+        #: Active fault state per link-name pattern, folded into links at
+        #: creation time (links are lazy — a flap can precede first use).
+        self._link_faults: dict[str, list] = {}  # pattern → [down, tx_scale]
+        #: Link-outage windows applied so far (one per LinkDown firing).
+        self.fault_link_down_events = 0
 
     def reset(self) -> None:
         """Restore construction state (cluster reuse).
@@ -185,6 +204,8 @@ class CongestionFabric(Fabric):
         self.links.clear()
         self.packets_dropped_links = 0
         self._routes.clear()
+        self._link_faults.clear()
+        self.fault_link_down_events = 0
 
     # -- routing -----------------------------------------------------------
     def _link(self, u: tuple, v: tuple) -> Link:
@@ -192,7 +213,63 @@ class CongestionFabric(Fabric):
         link = self.links.get(key)
         if link is None:
             link = self.links[key] = Link(f"{_node_name(u)}->{_node_name(v)}")
+            if self._link_faults:
+                # Fold currently active fault windows into the new link:
+                # lazy creation must not let a packet slip through an
+                # outage just because it is the first to route this way.
+                for pattern, (down, tx_scale) in self._link_faults.items():
+                    if pattern in link.name:
+                        link.down += down
+                        link.tx_scale *= tx_scale
         return link
+
+    # -- fault injection (repro.faults) ------------------------------------
+    def fault_link_down(self, pattern: str, on: bool) -> int:
+        """Enter (``on=True``) or leave an outage on links matching
+        ``pattern`` (substring of the ``"src->dst"`` link name).  Windows
+        refcount, so overlapping outages compose.  Returns the number of
+        existing links affected (new links inherit the state lazily).
+        """
+        state = self._link_faults.setdefault(pattern, [0, 1])
+        delta = 1 if on else -1
+        state[0] += delta
+        if on:
+            self.fault_link_down_events += 1
+        matched = 0
+        for link in self.links.values():
+            if pattern in link.name:
+                link.down += delta
+                matched += 1
+        self._prune_fault(pattern, state)
+        return matched
+
+    def fault_link_degrade(self, pattern: str, tx_scale: int,
+                           undo: int = 1) -> int:
+        """Scale serialization time on matching links by ``tx_scale``
+        (and divide out ``undo`` — the window-exit call passes its entry
+        scale).  Scales compose multiplicatively across windows.
+        """
+        state = self._link_faults.setdefault(pattern, [0, 1])
+        state[1] = state[1] * tx_scale // undo
+        matched = 0
+        for link in self.links.values():
+            if pattern in link.name:
+                link.tx_scale = link.tx_scale * tx_scale // undo
+                matched += 1
+        self._prune_fault(pattern, state)
+        return matched
+
+    def _prune_fault(self, pattern: str, state: list) -> None:
+        if state[0] == 0 and state[1] == 1:
+            del self._link_faults[pattern]
+
+    def links_down(self) -> int:
+        """Links currently inside an outage window."""
+        return sum(1 for link in self.links.values() if link.down)
+
+    def total_fault_link_drops(self) -> int:
+        """Packets dropped by link-outage windows (subset of link drops)."""
+        return sum(link.fault_drops for link in self.links.values())
 
     def _build_route(self, msg: Message) -> tuple:
         """The (link, head_delay_ps) sequence for one message.

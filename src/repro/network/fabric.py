@@ -159,6 +159,15 @@ class Fabric:
         #: Packets that reached a destination with no attached rx entry
         #: point (the node was detached mid-flight, e.g. failure injection).
         self.packets_dropped = 0
+        #: Fault-injection accounting (see :mod:`repro.faults`): packets a
+        #: plan dropped at dispatch, packets that traversed but failed the
+        #: receiver CRC, and messages a crashed node tried to send.
+        self.fault_packets_lost = 0
+        self.fault_packets_corrupted = 0
+        self.messages_from_dead = 0
+        #: Crashed sources (see :meth:`mark_dead`): their sends vanish
+        #: instead of raising "not attached".
+        self._dead_sources: set[int] = set()
 
     # -- attachment ----------------------------------------------------------
     def attach(self, nid: int, rx_callback: Callable[[Packet], None]) -> None:
@@ -180,6 +189,16 @@ class Fabric:
         self._msg_limiter.pop(nid, None)
         self._wire.pop(nid, None)
 
+    def mark_dead(self, nid: int) -> None:
+        """Mark a (detached) node fail-stopped: its own sends vanish.
+
+        A crashed node's HPUs may still be mid-handler when the crash
+        lands; without this, their forwarding puts would raise "source
+        not attached" instead of silently disappearing the way a dead
+        NIC's traffic does.
+        """
+        self._dead_sources.add(nid)
+
     def reset(self) -> None:
         """Restore construction state, keeping attachments (cluster reuse).
 
@@ -195,6 +214,10 @@ class Fabric:
         self.packets_delivered = 0
         self.messages_injected = 0
         self.packets_dropped = 0
+        self.fault_packets_lost = 0
+        self.fault_packets_corrupted = 0
+        self.messages_from_dead = 0
+        self._dead_sources.clear()
 
     # -- transmission ----------------------------------------------------------
     def inject(self, message: Message) -> Event:
@@ -207,6 +230,14 @@ class Fabric:
         """
         src = message.source
         if src not in self._msg_limiter:
+            if src in self._dead_sources:
+                # A crashed node "sending": nothing serializes, nothing
+                # arrives.  The returned event still fires so any caller
+                # mid-generator (a handler that crashed under it) unwinds.
+                self.messages_from_dead += 1
+                done = Event(self.env)
+                done.succeed(self.env._now)
+                return done
             raise ValueError(f"source node {src} not attached")
         if self.fast_path:
             chain = _TxChain(self, message)

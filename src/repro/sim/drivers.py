@@ -16,12 +16,29 @@ Determinism: every random draw comes from ``random.Random`` instances
 seeded from the driver's ``seed`` parameter — never the process-global RNG
 — so a driver run is reproducible regardless of executor seeding, worker
 count, or interleaving with other drivers.
+
+Reliability (opt-in)
+--------------------
+On a lossy fabric (fault injection, congestion tail-drop) an un-ACKed
+request is silent — the initiator sees nothing, ever.  ``timeout_ns``
+arms a per-request timer: at expiry the request is recorded as a drop
+(and, closed loop, its client moves on instead of hanging until drain).
+``retries`` upgrades expiry into retransmission with exponential backoff
+(``timeout × backoff`` per attempt): each logical request carries a
+unique sequence tag in ``hdr_data``, so a :func:`dedup_channel` target
+delivers at-least-once while dropping duplicates on the NIC.  Every
+timer expiry / retransmit lands in the stream's ``timeouts`` /
+``retransmits`` counters; ``completed`` stays *unique* completions, so
+``goodput_mmps`` is throughput net of retransmits.  With the defaults
+(no timeout) nothing here schedules — the pre-reliability event stream
+is preserved bit-for-bit.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Generator, Optional, Sequence, Union
 
 from repro.des.engine import Event, Process
@@ -29,7 +46,7 @@ from repro.portals.events import EventQueue
 from repro.portals.ni import MemoryDescriptor
 from repro.sim.metrics import Metrics
 
-__all__ = ["ClosedLoopDriver", "OpenLoopDriver", "SizeMix"]
+__all__ = ["ClosedLoopDriver", "OpenLoopDriver", "SizeMix", "dedup_channel"]
 
 #: 1 million messages/second expressed as a picosecond interarrival.
 _PS_PER_MMPS = 1_000_000
@@ -68,6 +85,30 @@ def _coerce_mix(size: Union[int, SizeMix, Sequence[int]]) -> SizeMix:
     return SizeMix(sizes=tuple(size))
 
 
+class _PendingRequest:
+    """One in-flight logical request: attempts, timer, completion gate."""
+
+    __slots__ = ("machine", "stream", "request", "target", "nbytes",
+                 "gate", "start", "seq", "md_ids", "timer", "timeout_ps",
+                 "attempt", "done")
+
+    def __init__(self, machine, stream, request, target, nbytes,
+                 gate, start, seq, timeout_ps):
+        self.machine = machine
+        self.stream = stream
+        self.request = request
+        self.target = target
+        self.nbytes = nbytes
+        self.gate = gate
+        self.start = start
+        self.seq = seq
+        self.md_ids: list[int] = []
+        self.timer = None
+        self.timeout_ps = timeout_ps
+        self.attempt = 0
+        self.done = False
+
+
 class _DriverBase:
     """Shared request plumbing: acked puts with per-request latency."""
 
@@ -83,7 +124,18 @@ class _DriverBase:
         metrics: Optional[Metrics] = None,
         stream: str = "load",
         make_request: Optional[Callable[[random.Random, int], dict]] = None,
+        timeout_ns: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 2.0,
     ):
+        if timeout_ns is not None and timeout_ns <= 0:
+            raise ValueError("timeout_ns must be positive (or None)")
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
+        if retries and timeout_ns is None:
+            raise ValueError("retries need a timeout_ns to trigger on")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1 (exponential growth)")
         self.session = session
         self.target = target
         self.size_mix = _coerce_mix(size)
@@ -93,9 +145,14 @@ class _DriverBase:
         self.metrics = metrics if metrics is not None else Metrics()
         self.stream = stream
         self._make_request = make_request
-        #: In-flight bookkeeping: md_id → (machine, stream) until the ACK
-        #: lands, reconciled by :meth:`finalize` after the sim drains.
-        self._pending: dict[int, tuple[Any, str]] = {}
+        self.timeout_ps = None if timeout_ns is None else round(timeout_ns * 1000.0)
+        self.retries = retries
+        self.backoff = backoff
+        #: In-flight bookkeeping: request serial → record until the ACK
+        #: lands (or the timer expires), reconciled by :meth:`finalize`
+        #: after the sim drains.
+        self._pending: dict[int, _PendingRequest] = {}
+        self._seq = 0
 
     def request_kwargs(self, rng: random.Random, index: int) -> dict:
         """The put for request ``index``; override via ``make_request``."""
@@ -115,6 +172,9 @@ class _DriverBase:
         The latency clock starts when the request is issued (before the
         client core is acquired) and stops when the Portals ACK event
         reaches the initiator-side MD — one full offloaded round trip.
+        With ``timeout_ns`` set the gate also fires at (final) timer
+        expiry, the request recorded as a drop; with ``retries`` the
+        timer retransmits first, backing off exponentially.
         """
         env = machine.env
         stats = self.metrics.stream(stream)
@@ -124,22 +184,81 @@ class _DriverBase:
         request = dict(request)
         target = request.pop("target")
         nbytes = request.pop("nbytes")
+        seq = self._seq
+        self._seq = seq + 1
+        if self.retries:
+            # Sequence-tag the request so a dedup_channel target can
+            # recognise retransmitted copies (at-least-once delivery).
+            # Uniqueness spans this driver; co-targeting drivers must use
+            # distinct seeds (as the scenarios do).
+            request.setdefault(
+                "hdr_data",
+                ((self.seed & 0xFFFF) << 40) | ((machine.rank & 0xFF) << 32) | seq,
+            )
+        pend = _PendingRequest(machine, stream, request, target, nbytes,
+                               env.event(), env.now, seq, self.timeout_ps)
+        stats.start()
+        self._pending[seq] = pend
+        yield from self._issue_attempt(pend)
+        return pend.gate
+
+    def _issue_attempt(self, pend: _PendingRequest) -> Generator:
+        """One transmission attempt: fresh MD/EQ, ACK callback, timer."""
+        machine = pend.machine
+        env = machine.env
         eq = EventQueue(capacity=4, name=f"drv[{machine.rank}]")
         md = machine.bind_md(MemoryDescriptor(event_queue=eq))
-        gate = env.event()
-        start = env.now
-        stats.start()
-        self._pending[md.md_id] = (machine, stream)
+        pend.md_ids.append(md.md_id)
+        eq.on_next(partial(self._on_ack, pend))
+        if pend.timeout_ps is not None:
+            pend.timer = env.schedule_callback(
+                pend.timeout_ps, partial(self._expire, pend))
+        yield from machine.host_put(pend.target, pend.nbytes, ack=True,
+                                    md=md, **pend.request)
 
-        def on_ack(_event) -> None:
-            stats.record(env.now - start, nbytes)
-            machine.ni.mds.pop(md.md_id, None)  # keep the MD table bounded
-            self._pending.pop(md.md_id, None)
-            gate.succeed(env.now)
+    def _on_ack(self, pend: _PendingRequest, _event) -> None:
+        """First ACK wins; late duplicates (other attempts) are no-ops."""
+        if pend.done:
+            return
+        pend.done = True
+        env = pend.machine.env
+        if pend.timer is not None:
+            pend.timer.cancel()
+            pend.timer = None
+        self.metrics.stream(pend.stream).record(env.now - pend.start,
+                                                pend.nbytes)
+        self._retire(pend)
+        log = self.metrics.completion_log
+        if log is not None:
+            log.append(env.now)
+        pend.gate.succeed(env.now)
 
-        eq.on_next(on_ack)
-        yield from machine.host_put(target, nbytes, ack=True, md=md, **request)
-        return gate
+    def _expire(self, pend: _PendingRequest) -> None:
+        """Per-request timer fired: retransmit, or record the drop."""
+        if pend.done:
+            return
+        env = pend.machine.env
+        stats = self.metrics.stream(pend.stream)
+        stats.timeouts += 1
+        if pend.attempt < self.retries:
+            pend.attempt += 1
+            stats.retransmits += 1
+            pend.timeout_ps = round(pend.timeout_ps * self.backoff)
+            env.process(self._issue_attempt(pend),
+                        name=f"rexmit[{pend.stream}#{pend.seq}]")
+            return
+        pend.done = True
+        pend.timer = None
+        stats.drop()
+        self._retire(pend)
+        self.metrics.bump("lost_requests", 1)
+        pend.gate.succeed(env.now)
+
+    def _retire(self, pend: _PendingRequest) -> None:
+        mds = pend.machine.ni.mds
+        for md_id in pend.md_ids:
+            mds.pop(md_id, None)  # keep the MD table bounded
+        self._pending.pop(pend.seq, None)
 
     def finalize(self) -> int:
         """Reconcile requests whose ACK never arrived; call after draining.
@@ -149,12 +268,21 @@ class _DriverBase:
         DES has quiesced that silence is definitive, so every still-pending
         request is recorded as a drop, its MD is unbound, and (closed
         loop) its client is known to be permanently stalled.  Returns the
-        number of lost requests.
+        number of lost requests.  With ``timeout_ns`` set the per-request
+        timers already converted silence into drops *during* the run, so
+        there is nothing left to reconcile here.
         """
-        lost = len(self._pending)
-        for md_id, (machine, stream) in self._pending.items():
-            machine.ni.mds.pop(md_id, None)
-            self.metrics.stream(stream).drop()
+        lost = 0
+        for pend in list(self._pending.values()):
+            if pend.done:
+                continue
+            pend.done = True
+            if pend.timer is not None:
+                pend.timer.cancel()
+                pend.timer = None
+            self._retire(pend)
+            self.metrics.stream(pend.stream).drop()
+            lost += 1
         self._pending.clear()
         if lost:
             self.metrics.bump("lost_requests", lost)
@@ -265,3 +393,41 @@ class ClosedLoopDriver(_DriverBase):
             request = self.request_kwargs(rng, index)
             gate = yield from self._tracked_put(machine, stream, request)
             yield gate
+
+
+def dedup_channel(session, rank: int, *, match_bits: int,
+                  length: int = 1 << 30, hpu_mem_bytes: int = 1 << 15,
+                  **kwargs: Any):
+    """Install an at-least-once target channel for retransmitting drivers.
+
+    The header handler drops any message whose sequence tag
+    (``hdr_data``, stamped by a driver with ``retries > 0``) was already
+    *fully delivered*; the completion handler marks the tag as seen only
+    once every payload byte arrived.  Marking at completion — not at the
+    header — matters on a lossy fabric: an attempt whose payload was lost
+    stalls forever, and had its header already claimed the tag, the
+    retransmitted copy would be deduplicated into oblivion.  Duplicates
+    are dropped on the NIC but still complete (and ACK), so an initiator
+    whose *ACK* was lost stops retransmitting.  HPU state keys:
+    ``seen`` (delivered tags), ``dups`` (duplicates dropped).
+    """
+    from repro.core.handlers import ReturnCode
+
+    def dedup_header(ctx, h):
+        ctx.charge(8)
+        seen = ctx.state.vars.setdefault("seen", set())
+        if h.hdr_data in seen:
+            ctx.state.vars["dups"] = ctx.state.vars.get("dups", 0) + 1
+            return ReturnCode.DROP
+        return ReturnCode.PROCEED
+
+    def dedup_completion(ctx, dropped_bytes, flow_ctl):
+        ctx.charge(4)
+        if not dropped_bytes and not flow_ctl:
+            ctx.state.vars.setdefault("seen", set()).add(ctx.message.hdr_data)
+        return ReturnCode.SUCCESS
+
+    return session.connect(rank, match_bits=match_bits, length=length,
+                           header_handler=dedup_header,
+                           completion_handler=dedup_completion,
+                           hpu_mem_bytes=hpu_mem_bytes, **kwargs)

@@ -37,6 +37,11 @@ class LatencyStats:
     started: int = 0
     completed: int = 0
     dropped: int = 0
+    #: Reliability-layer accounting (see :mod:`repro.sim.drivers`): timer
+    #: expiries and retransmitted attempts.  ``completed`` counts unique
+    #: logical requests, so goodput is throughput net of retransmits.
+    timeouts: int = 0
+    retransmits: int = 0
 
     def start(self) -> None:
         self.started += 1
@@ -65,6 +70,8 @@ class LatencyStats:
             "completed": self.completed,
             "dropped": self.dropped,
             "bytes": self.bytes_total,
+            "timeouts": self.timeouts,
+            "retransmits": self.retransmits,
         }
         if self.samples_ps:
             ordered = sorted(self.samples_ps)
@@ -81,6 +88,10 @@ class LatencyStats:
             out["throughput_rps"] = self.completed / seconds if seconds else 0.0
             out["gib_s"] = (self.bytes_total / seconds / (1 << 30)
                             if seconds else 0.0)
+            # Unique completions per µs: under retransmission, what the
+            # application actually got through the lossy fabric.
+            out["goodput_mmps"] = (self.completed / seconds / 1e6
+                                   if seconds else 0.0)
         return out
 
 
@@ -96,6 +107,12 @@ class Metrics:
     def __init__(self) -> None:
         self.streams: dict[str, LatencyStats] = {}
         self.notes: dict[str, float] = {}
+        #: Opt-in completion-timestamp log (integer ps, append order):
+        #: set to ``[]`` before driving load and the reliability layer
+        #: records every unique completion — the raw material for
+        #: time-to-recovery after a fault clears.  ``None`` (default)
+        #: records nothing.
+        self.completion_log: Optional[list[int]] = None
 
     def stream(self, name: str) -> LatencyStats:
         try:
@@ -134,6 +151,10 @@ class Metrics:
         # never finished arriving (stalled receive states).
         self.note(f"{prefix}_rx_orphan_packets", fabric.rx_orphan_packets())
         self.note(f"{prefix}_rx_stalled_messages", fabric.rx_stalled_messages())
+        # Fault-injection fallout (zero on un-faulted runs; the keys stay
+        # present so result schemas are stable across a loss-rate sweep).
+        self.note("fault_packets_lost", fabric.fault_packets_lost)
+        self.note("fault_packets_corrupted", fabric.fault_packets_corrupted)
         if hasattr(fabric, "links"):  # congestion flavour
             self.note(f"{prefix}_link_drops", fabric.total_link_drops())
             self.note(f"{prefix}_max_link_queue", fabric.max_link_queue())
@@ -141,6 +162,21 @@ class Metrics:
                 f"{prefix}_max_link_utilization",
                 round(fabric.max_link_utilization(elapsed_ps), 4),
             )
+            self.note(f"{prefix}_links_down", fabric.fault_link_down_events)
+
+    def first_completion_after(self, t_ps: int) -> Optional[int]:
+        """Earliest logged completion at or after ``t_ps`` (recovery time).
+
+        Requires :attr:`completion_log` to have been enabled before the
+        run; returns ``None`` when nothing completed after ``t_ps``.
+        """
+        if self.completion_log is None:
+            raise ValueError(
+                "completion_log was never enabled (set metrics.completion_log"
+                " = [] before driving load)"
+            )
+        after = [t for t in self.completion_log if t >= t_ps]
+        return min(after) if after else None
 
     def total(self) -> LatencyStats:
         """Merged view across every stream (fresh object, order-stable)."""
@@ -152,6 +188,8 @@ class Metrics:
             merged.started += s.started
             merged.completed += s.completed
             merged.dropped += s.dropped
+            merged.timeouts += s.timeouts
+            merged.retransmits += s.retransmits
         return merged
 
     def summary(self, elapsed_ps: Optional[int] = None,

@@ -283,6 +283,19 @@ class Session:
         self.channels.append(channel)
         return channel
 
+    # -- fault injection ----------------------------------------------------
+    def attach_faults(self, plan):
+        """Arm a :class:`~repro.faults.plan.FaultPlan` on this session.
+
+        Returns the live :class:`~repro.faults.injector.FaultInjector`
+        (fault accounting, crash list).  Arming makes the session
+        unpoolable: fault state must never leak into a reused cluster.
+        With no plan attached nothing here runs — the default path
+        schedules zero fault events and golden traces stay byte-identical.
+        """
+        from repro.faults.injector import FaultInjector  # avoid cycle
+        return FaultInjector(self, plan)
+
     # -- run control -------------------------------------------------------
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Register a generator as a simulated process."""

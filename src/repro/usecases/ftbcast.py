@@ -40,6 +40,11 @@ class FaultTolerantBroadcast:
             config = config_by_name(config)
         self.nprocs = nprocs
         self.failed = failed or set()
+        #: Ranks fail-stopped *after* construction (see :meth:`crash`).
+        #: Deliberately NOT consulted by the forwarding handler: the
+        #: protocol has no failure detector, so live ranks keep forwarding
+        #: into crashed peers and redundancy alone must carry delivery.
+        self.crashed: set[int] = set()
         self.session = pair_session(config, nprocs=nprocs, with_memory=False)
         self.cluster = self.session.cluster
         self.env = self.session.env
@@ -83,6 +88,27 @@ class FaultTolerantBroadcast:
                 header_handler=make_handler(rank),
                 hpu_mem_bytes=1024,
             )
+
+    def crash(self, rank: int) -> int:
+        """Fail-stop ``rank`` mid-protocol; returns reaped receive states.
+
+        Unlike the constructor's ``failed`` set (ranks dead from the
+        start, which peers route around), a crash is invisible to the
+        survivors — their forwards toward the dead rank vanish in the
+        fabric.  Delivery checks must use :meth:`live_ranks`.
+        """
+        if rank in self.failed or rank in self.crashed:
+            return 0
+        self.crashed.add(rank)
+        return self.cluster.crash(rank)
+
+    def live_ranks(self) -> set[int]:
+        """Ranks neither failed at construction nor crashed since."""
+        return (set(range(self.nprocs)) - self.failed) - self.crashed
+
+    def delivered_to_all_live(self, bcast_id: int = 1) -> bool:
+        """Did every currently-live rank deliver ``bcast_id``?"""
+        return self.live_ranks() <= self.delivered.get(bcast_id, set())
 
     def broadcast(self, root: int = 0, bcast_id: int = 1,
                   nbytes: int = 64) -> Generator:

@@ -1,0 +1,97 @@
+"""FaultPlan validation: immutable, typed, and loudly rejected when wrong."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    HandlerFault,
+    LinkDegrade,
+    LinkDown,
+    NodeCrash,
+    PacketCorrupt,
+    PacketLoss,
+    link_flap,
+)
+
+
+class TestSpecValidation:
+    def test_link_down_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            LinkDown(pattern="core", at_ns=-1.0, duration_ns=100.0)
+        with pytest.raises(ValueError):
+            LinkDown(pattern="core", at_ns=0.0, duration_ns=0.0)
+        with pytest.raises(ValueError):
+            LinkDown(pattern="", at_ns=0.0, duration_ns=100.0)
+
+    def test_link_degrade_needs_integer_scale(self):
+        with pytest.raises(ValueError):
+            LinkDegrade(pattern="core", at_ns=0.0, duration_ns=1.0,
+                        tx_scale=0)
+        with pytest.raises(ValueError):
+            LinkDegrade(pattern="core", at_ns=0.0, duration_ns=1.0,
+                        tx_scale=2.5)
+
+    @pytest.mark.parametrize("cls", (PacketLoss, PacketCorrupt))
+    def test_packet_faults_validate_probability_and_window(self, cls):
+        with pytest.raises(ValueError):
+            cls(probability=1.5)
+        with pytest.raises(ValueError):
+            cls(probability=-0.1)
+        with pytest.raises(ValueError):
+            cls(probability=0.5, start_ns=-1.0)
+        with pytest.raises(ValueError):
+            cls(probability=0.5, start_ns=10.0, stop_ns=10.0)
+        # Degenerate-but-legal probabilities are fine.
+        cls(probability=0.0)
+        cls(probability=1.0)
+
+    def test_node_crash_and_handler_fault_reject_negatives(self):
+        with pytest.raises(ValueError):
+            NodeCrash(rank=-1, at_ns=0.0)
+        with pytest.raises(ValueError):
+            NodeCrash(rank=0, at_ns=-5.0)
+        with pytest.raises(ValueError):
+            HandlerFault(rank=-2)
+        with pytest.raises(ValueError):
+            HandlerFault(rank=0, probability=2.0)
+
+
+class TestFaultPlan:
+    def test_rejects_non_fault_entries(self):
+        with pytest.raises(TypeError):
+            FaultPlan(faults=("not a fault",))
+
+    def test_truthiness_tracks_contents(self):
+        assert not FaultPlan()
+        assert FaultPlan(faults=(PacketLoss(0.1),))
+
+    def test_of_type_filters(self):
+        plan = FaultPlan(faults=(
+            PacketLoss(0.1),
+            NodeCrash(rank=1, at_ns=0.0),
+            PacketCorrupt(0.2),
+        ))
+        assert len(plan.of_type(PacketLoss)) == 1
+        assert len(plan.of_type(PacketLoss, PacketCorrupt)) == 2
+        assert plan.of_type(LinkDown) == ()
+
+    def test_plans_are_immutable(self):
+        plan = FaultPlan(faults=(PacketLoss(0.1),), seed=3)
+        with pytest.raises(AttributeError):
+            plan.seed = 4
+
+
+class TestLinkFlap:
+    def test_generates_one_window_per_cycle(self):
+        windows = link_flap("core", first_down_ns=100.0, down_ns=50.0,
+                            up_ns=25.0, cycles=3)
+        assert [w.at_ns for w in windows] == [100.0, 175.0, 250.0]
+        assert all(w.duration_ns == 50.0 for w in windows)
+        assert all(w.pattern == "core" for w in windows)
+
+    def test_rejects_degenerate_schedules(self):
+        with pytest.raises(ValueError):
+            link_flap("core", first_down_ns=0.0, down_ns=1.0, up_ns=1.0,
+                      cycles=0)
+        with pytest.raises(ValueError):
+            link_flap("core", first_down_ns=0.0, down_ns=1.0, up_ns=-1.0)

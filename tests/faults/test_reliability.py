@@ -1,0 +1,190 @@
+"""The drivers' reliability layer: timeouts, retransmits, dedup, recovery."""
+
+import pytest
+
+from repro.faults import FaultPlan, PacketLoss
+from repro.portals.matching import MatchEntry
+from repro.sim import ClusterSpec, Metrics, Session
+from repro.sim.drivers import ClosedLoopDriver, OpenLoopDriver, dedup_channel
+
+TAG = 54
+
+
+class TestParameterValidation:
+    def test_retries_need_a_timeout(self):
+        with Session.pair("int") as sess:
+            with pytest.raises(ValueError, match="timeout"):
+                OpenLoopDriver(sess, source=0, target=1, rate_mmps=1.0,
+                               count=1, match_bits=TAG, retries=3)
+
+    def test_rejects_degenerate_knobs(self):
+        with Session.pair("int") as sess:
+            with pytest.raises(ValueError):
+                OpenLoopDriver(sess, source=0, target=1, rate_mmps=1.0,
+                               count=1, match_bits=TAG, timeout_ns=0.0)
+            with pytest.raises(ValueError):
+                OpenLoopDriver(sess, source=0, target=1, rate_mmps=1.0,
+                               count=1, match_bits=TAG, timeout_ns=100.0,
+                               retries=-1)
+            with pytest.raises(ValueError):
+                OpenLoopDriver(sess, source=0, target=1, rate_mmps=1.0,
+                               count=1, match_bits=TAG, timeout_ns=100.0,
+                               retries=1, backoff=0.5)
+
+
+class TestRetransmission:
+    def test_open_loop_recovers_every_request_under_loss(self):
+        with Session.pair("int") as sess:
+            sess.attach_faults(FaultPlan(faults=(PacketLoss(0.2),), seed=11))
+            dedup_channel(sess, 1, match_bits=TAG)
+            metrics = Metrics()
+            metrics.completion_log = []
+            driver = OpenLoopDriver(
+                sess, source=0, target=1, rate_mmps=1.0, count=64, size=2048,
+                match_bits=TAG, seed=5, metrics=metrics,
+                timeout_ns=20000.0, retries=6,
+            )
+            driver.start()
+            sess.drain()
+            assert driver.finalize() == 0
+            summary = metrics.summary(elapsed_ps=sess.env.now)
+        assert summary["completed"] == 64
+        assert summary["dropped"] == 0
+        assert summary["timeouts"] > 0
+        assert summary["retransmits"] > 0
+        # Every unique completion was logged exactly once.
+        assert len(metrics.completion_log) == 64
+        # Goodput counts unique requests, not retransmitted wire traffic.
+        assert summary["goodput_mmps"] > 0
+
+    def test_retry_budget_exhaustion_drops_the_request(self):
+        with Session.pair("int") as sess:
+            sess.attach_faults(FaultPlan(faults=(PacketLoss(1.0),), seed=2))
+            dedup_channel(sess, 1, match_bits=TAG)
+            metrics = Metrics()
+            driver = OpenLoopDriver(
+                sess, source=0, target=1, rate_mmps=1.0, count=8, size=512,
+                match_bits=TAG, seed=5, metrics=metrics,
+                timeout_ns=3000.0, retries=2,
+            )
+            driver.start()
+            sess.drain()
+            # The timers resolved every request in-sim: nothing to reap.
+            assert driver.finalize() == 0
+            summary = metrics.summary(elapsed_ps=sess.env.now)
+        assert summary["dropped"] == 8
+        assert summary["retransmits"] == 16  # 2 retries each
+        assert summary["timeouts"] == 24     # 3 attempts each timed out
+        assert metrics.notes["lost_requests"] == 8
+
+    def test_dedup_channel_absorbs_duplicate_deliveries(self):
+        with Session.pair("int") as sess:
+            sess.attach_faults(FaultPlan(faults=(PacketLoss(0.25),), seed=11))
+            channel = dedup_channel(sess, 1, match_bits=TAG)
+            metrics = Metrics()
+            driver = OpenLoopDriver(
+                sess, source=0, target=1, rate_mmps=1.0, count=48, size=1024,
+                match_bits=TAG, seed=5, metrics=metrics,
+                timeout_ns=8000.0, retries=8,
+            )
+            driver.start()
+            sess.drain()
+            driver.finalize()
+            summary = metrics.summary(elapsed_ps=sess.env.now)
+            hpu_vars = channel.entry.spin.hpu_memory.vars
+        # Lost ACKs make the initiator retransmit already-delivered
+        # requests; the target must drop those copies on the NIC yet the
+        # unique-completion count must still be exact.
+        assert summary["completed"] == 48
+        assert hpu_vars.get("dups", 0) > 0
+        assert len(hpu_vars["seen"]) == 48
+
+
+class TestTimeoutUnblocksClosedLoop:
+    def test_total_loss_does_not_hang_the_drain(self):
+        with Session.pair("int") as sess:
+            sess.attach_faults(FaultPlan(faults=(PacketLoss(1.0),), seed=2))
+            dedup_channel(sess, 1, match_bits=TAG)
+            metrics = Metrics()
+            driver = ClosedLoopDriver(
+                sess, sources=[0], clients=3, requests_per_client=4,
+                target=1, size=256, match_bits=TAG, seed=9, metrics=metrics,
+                timeout_ns=5000.0,
+            )
+            driver.start()
+            sess.drain()  # would deadlock without the per-request timer
+            assert driver.finalize() == 0
+            summary = metrics.summary(elapsed_ps=sess.env.now)
+        assert summary["started"] == 12
+        assert summary["dropped"] == 12
+        assert summary["timeouts"] == 12
+
+    def test_congestion_tail_drop_times_out_instead_of_hanging(self):
+        """Regression: silent tail-drops used to stall closed-loop clients.
+
+        An incast through depth-2 link queues tail-drops some requests;
+        each affected client must time out, count the loss, and keep
+        issuing — the run ends with zero in-flight requests.
+        """
+        spec = ClusterSpec(nodes=4, config="int", fabric="congestion",
+                           link_queue_depth=2)
+        with Session(spec) as sess:
+            sess.install(3, MatchEntry(match_bits=TAG, length=1 << 30))
+            metrics = Metrics()
+            driver = ClosedLoopDriver(
+                sess, sources=[0, 1, 2], clients=4, requests_per_client=8,
+                target=3, size=8192, match_bits=TAG, seed=3, metrics=metrics,
+                timeout_ns=50000.0,
+            )
+            driver.start()
+            sess.drain()
+            assert driver.finalize() == 0
+            summary = metrics.summary(elapsed_ps=sess.env.now)
+            dropped_in_net = sess.cluster.fabric.total_link_drops()
+        # clients are a population shared across the sources: 4 × 8.
+        assert summary["started"] == 32
+        assert dropped_in_net > 0, "queues never overflowed — weak fixture"
+        assert summary["timeouts"] > 0
+        assert summary["completed"] + summary["dropped"] == 32
+        total = metrics.total()
+        assert total.in_flight == 0
+
+
+class TestDefaultPathUnchanged:
+    def test_no_timeout_driver_reports_zero_reliability_counters(self):
+        with Session.pair("int") as sess:
+            sess.install(1, MatchEntry(match_bits=TAG, length=1 << 30))
+            metrics = Metrics()
+            driver = OpenLoopDriver(
+                sess, source=0, target=1, rate_mmps=1.0, count=8,
+                match_bits=TAG, seed=1, metrics=metrics,
+            )
+            driver.start()
+            sess.drain()
+            driver.finalize()
+            summary = metrics.summary(elapsed_ps=sess.env.now)
+        assert summary["completed"] == 8
+        assert summary["timeouts"] == 0
+        assert summary["retransmits"] == 0
+
+    def test_hdr_data_is_untagged_without_retries(self):
+        seen = []
+
+        with Session.pair("int") as sess:
+            from repro.core.handlers import ReturnCode
+
+            def header(ctx, h):
+                ctx.charge(4)
+                seen.append(h.hdr_data)
+                return ReturnCode.PROCEED
+
+            sess.connect(1, match_bits=TAG, length=1 << 30,
+                         header_handler=header, hpu_mem_bytes=256)
+            driver = OpenLoopDriver(
+                sess, source=0, target=1, rate_mmps=1.0, count=4,
+                match_bits=TAG, seed=1, timeout_ns=50000.0,  # no retries
+            )
+            driver.start()
+            sess.drain()
+            driver.finalize()
+        assert seen == [0, 0, 0, 0]

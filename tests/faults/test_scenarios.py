@@ -1,0 +1,130 @@
+"""The registered fault scenarios: acceptance regimes + campaign contract."""
+
+import math
+
+import pytest
+
+from repro.campaign import all_scenarios, get_scenario, run_grid
+from repro.campaign.cache import DETERMINISTIC_FIELDS
+from repro.faults.scenarios import pick_crash_ranks
+from repro.usecases.ftbcast import binomial_graph_peers
+
+FAULT_SCENARIOS = ("ftbcast_faults", "lossy_pingpong", "link_flap_recovery")
+
+
+def test_fault_scenarios_are_registered_with_sweeps():
+    registered = all_scenarios()
+    for name in FAULT_SCENARIOS:
+        assert name in registered
+        sc = registered[name]
+        assert sc.sweep, f"{name} needs a default sweep grid"
+        assert sc.tiny, f"{name} needs tiny smoke params"
+        assert "faults" in sc.tags
+
+
+@pytest.mark.parametrize("name", FAULT_SCENARIOS)
+def test_tiny_run_is_deterministic(name):
+    sc = get_scenario(name)
+    assert sc.run(sc.tiny) == sc.run(sc.tiny)
+
+
+class TestCrashPlacement:
+    def test_spread_is_seeded_and_never_hits_root(self):
+        a = pick_crash_ranks(8, 3, "spread", seed=5)
+        assert a == pick_crash_ranks(8, 3, "spread", seed=5)
+        assert a != pick_crash_ranks(8, 3, "spread", seed=6)
+        assert 0 not in a and len(a) == 3
+
+    def test_adversarial_targets_a_victim_out_of_roots_reach(self):
+        ranks = pick_crash_ranks(8, 5, "adversarial", seed=1)
+        assert 0 not in ranks
+        # Some rank outside the crash set has every peer inside it.
+        isolated = [
+            v for v in range(1, 8)
+            if v not in ranks
+            and set(binomial_graph_peers(v, 8)) <= set(ranks)
+        ]
+        assert isolated, "adversarial set severed nobody"
+
+
+class TestFtbcastFaults:
+    def test_delivery_survives_below_the_tolerance(self):
+        sc = get_scenario("ftbcast_faults")
+        result = sc.run({"failures": 2, "placement": "spread"})
+        assert result["failures"] == 2 < int(math.log2(result["nprocs"]))
+        assert result["all_live_delivered"] is True
+        assert result["delivered_live"] == result["live_ranks"]
+
+    def test_adversarial_crashes_beyond_tolerance_break_delivery(self):
+        sc = get_scenario("ftbcast_faults")
+        result = sc.run({"failures": 5, "placement": "adversarial"})
+        assert result["failures"] == 5 >= result["tolerance"]
+        assert result["all_live_delivered"] is False
+        assert result["delivered_live"] < result["live_ranks"]
+
+    def test_adversarial_below_tolerance_still_delivers(self):
+        sc = get_scenario("ftbcast_faults")
+        result = sc.run({"failures": 2, "placement": "adversarial"})
+        assert result["all_live_delivered"] is True
+
+
+class TestLossyPingpong:
+    def test_clean_fabric_needs_no_retransmits(self):
+        result = get_scenario("lossy_pingpong").run({"loss": 0.0,
+                                                     "count": 16})
+        assert result["completed"] == 16
+        assert result["retransmits"] == 0
+        assert result["packets_lost"] == 0
+
+    def test_lossy_fabric_recovers_goodput_via_retransmission(self):
+        result = get_scenario("lossy_pingpong").run({"loss": 0.2,
+                                                     "count": 32})
+        assert result["packets_lost"] > 0
+        assert result["retransmits"] > 0
+        assert result["completed"] == 32  # at-least-once, exactly counted
+        assert result["goodput_mmps"] > 0
+
+    def test_goodput_degrades_with_loss(self):
+        sc = get_scenario("lossy_pingpong")
+        clean = sc.run({"loss": 0.0, "count": 32})
+        lossy = sc.run({"loss": 0.3, "count": 32})
+        assert lossy["goodput_mmps"] < clean["goodput_mmps"]
+
+
+class TestLinkFlapRecovery:
+    def test_recovery_time_is_finite_and_drops_happened(self):
+        sc = get_scenario("link_flap_recovery")
+        result = sc.run(sc.tiny)
+        assert result["fault_link_drops"] > 0
+        assert result["timeouts"] > 0
+        assert result["retransmits"] > 0
+        assert result["link_down_events"] >= 1
+        # Finite time-to-recovery: something completed after the final
+        # link-up (-1.0 is the "never recovered" sentinel).
+        assert result["recovery_ns"] >= 0.0
+        assert result["completed"] == result["offered"]
+
+
+def _det(record):
+    return {k: record[k] for k in DETERMINISTIC_FIELDS}
+
+
+def test_fault_sweeps_identical_serial_vs_parallel(tmp_path):
+    sweeps = (
+        ("lossy_pingpong", {"loss": (0.0, 0.2)}, {"count": 16}),
+        ("ftbcast_faults", {"failures": (1, 5)},
+         {"placement": "adversarial"}),
+    )
+
+    def run_all(workers, cache_path):
+        records = []
+        for name, grid, overrides in sweeps:
+            res = run_grid(name, grid, workers=workers,
+                           cache_path=cache_path, overrides=overrides)
+            assert res.executed == len(res.jobs)
+            records.extend(res.records)
+        return records
+
+    serial = run_all(1, tmp_path / "serial.jsonl")
+    parallel = run_all(2, tmp_path / "parallel.jsonl")
+    assert [_det(r) for r in serial] == [_det(r) for r in parallel]
