@@ -15,6 +15,7 @@ paper's reported values; targets:
 ``fig7b``      RAID write-protocol timeline
 ``fig7c``      RAID-5 update completion time
 ``spc``        SPC trace replay speedups (§5.3)
+``traffic``    time-resolved traffic SLO timeline (windowed metrics)
 ``ablate``     design-choice ablations (HPU count, handler cost, ...)
 ``all``        everything above
 =============  ==========================================================
@@ -33,6 +34,7 @@ from repro.bench.figures import (
     fig7c_raid,
     spc_traces,
     tab5c_apps,
+    traffic_slo,
 )
 from repro.bench.harness import Row, Table
 
@@ -51,4 +53,5 @@ __all__ = [
     "fig7c_raid",
     "spc_traces",
     "tab5c_apps",
+    "traffic_slo",
 ]

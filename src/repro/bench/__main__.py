@@ -16,7 +16,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("target", nargs="?", default="all",
                         help="fig3a fig3b fig3c fig3d fig4 fig5a fig5b "
-                             "tab5c fig7a fig7b fig7c spc ablate all")
+                             "tab5c fig7a fig7b fig7c spc traffic ablate all")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale sweeps (slower)")
     parser.add_argument("--workers", type=int, default=1,
@@ -48,6 +48,8 @@ def main(argv=None) -> int:
         "fig7c": lambda: print(figures.fig7c_raid(
             args.full, **campaign_kw).render()),
         "spc": lambda: print(figures.spc_traces(
+            args.full, **campaign_kw).render()),
+        "traffic": lambda: print(figures.traffic_slo(
             args.full, **campaign_kw).render()),
         "ablate": lambda: (
             print(figures.ablate_hpus(args.full).render()),

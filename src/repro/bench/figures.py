@@ -36,6 +36,7 @@ __all__ = [
     "ablate_handler_cost",
     "ablate_hpus",
     "ablate_mtu",
+    "traffic_slo",
     "fig3_pingpong",
     "fig3a_timelines",
     "fig3d_accumulate",
@@ -464,6 +465,53 @@ def spc_traces(full: bool = False, workers: int = 1, cache_path=None,
                 **{"improvement_%": 100 * (rdma - spin) / rdma},
                 paper=f"{lo}%..{hi}%, best = int+financial" if config == "int" else "",
             )
+    return table
+
+
+def traffic_slo(full: bool = False, workers: int = 1, cache_path=None,
+                shard=None) -> Table:
+    """Time-resolved SLO view of the traffic scenarios (not in the paper).
+
+    One row per metrics window: the bursting-load run's fabric queue depth
+    and completions next to the incast-transient run's per-window p99 —
+    the sawtooth (growth during on phases, drain during off phases) and
+    the latency collapse/recovery around the synchronized burst, the two
+    transients the windowed sink exists to expose.
+    """
+    cycles = 4 if full else 3
+    burst = run_points("bursting_load", [{"cycles": cycles}],
+                       workers=workers, cache_path=cache_path, shard=shard)
+    if shard is not None:
+        return _shard_stub(burst, "traffic SLO timeline", shard)
+    incast = run_points("incast_transient", [{}], workers=workers,
+                        cache_path=cache_path)
+    b, i = burst.lookup(cycles=cycles), incast.lookup()
+    table = Table(
+        title="Traffic SLO timeline (windowed metrics)",
+        columns=["t_ns", "burst_queue", "burst_done",
+                 "incast_done", "incast_p99_ns"],
+    )
+    window_ns = b["window_ns"]
+    rows = max(len(b["win_queue_max"]), len(i["win_p99_ns"]))
+    for w in range(rows):
+
+        def cell(rec, key):
+            series = rec[key]
+            return series[w] if w < len(series) else ""
+
+        table.add(
+            t_ns=w * window_ns,
+            burst_queue=cell(b, "win_queue_max"),
+            burst_done=cell(b, "win_completed"),
+            incast_done=cell(i, "win_completed"),
+            incast_p99_ns=cell(i, "win_p99_ns"),
+        )
+    table.note(
+        f"bursting_load: queue peak {b['queue_peak']}, final "
+        f"{b['queue_final']}; incast_transient: p99 collapse at "
+        f"{i['collapse_t_ns']:.0f} ns, recovery at "
+        f"{i['recovery_t_ns']:.0f} ns"
+    )
     return table
 
 

@@ -102,8 +102,19 @@ def _print_records(res) -> None:
 
 
 def cmd_list(args) -> int:
-    for name, sc in all_scenarios().items():
-        print(f"{name:<20} {sc.description}")
+    scenarios = all_scenarios()
+    if args.tag:
+        scenarios = {name: sc for name, sc in scenarios.items()
+                     if args.tag in sc.tags}
+        if not scenarios:
+            known = sorted({t for sc in all_scenarios().values()
+                            for t in sc.tags})
+            print(f"no scenarios tagged {args.tag!r}; known tags: "
+                  f"{', '.join(known) or '(none)'}", file=sys.stderr)
+            return 1
+    for name, sc in scenarios.items():
+        tags = f"  [{', '.join(sc.tags)}]" if sc.tags else ""
+        print(f"{name:<20} {sc.description}{tags}")
         if args.brief:
             continue
         for p in sc.params:
@@ -360,6 +371,9 @@ def main(argv=None) -> int:
         help="list registered scenarios with parameter spaces and sweeps")
     p_list.add_argument("--brief", action="store_true",
                         help="names and descriptions only")
+    p_list.add_argument("--tag", default=None, metavar="TAG",
+                        help="only scenarios carrying this tag "
+                             "(e.g. traffic, faults, congestion)")
     p_list.add_argument("--params", action="store_true",
                         help="(default; kept for compatibility)")
     p_list.set_defaults(fn=cmd_list)

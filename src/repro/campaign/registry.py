@@ -44,6 +44,7 @@ BUILTIN_SCENARIO_MODULES = (
     "repro.usecases.kvstore",
     "repro.sim.scenarios",
     "repro.faults.scenarios",
+    "repro.traffic.scenarios",
 )
 
 

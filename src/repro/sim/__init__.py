@@ -27,7 +27,13 @@ Quick start::
 """
 
 from repro.sim.drivers import ClosedLoopDriver, OpenLoopDriver, SizeMix
-from repro.sim.metrics import LatencyStats, Metrics, percentile_ps
+from repro.sim.metrics import (
+    LatencyStats,
+    Metrics,
+    QuantileSketch,
+    WindowedMetrics,
+    percentile_ps,
+)
 from repro.sim.session import ClusterSpec, Session
 
 __all__ = [
@@ -36,7 +42,9 @@ __all__ = [
     "LatencyStats",
     "Metrics",
     "OpenLoopDriver",
+    "QuantileSketch",
     "Session",
     "SizeMix",
+    "WindowedMetrics",
     "percentile_ps",
 ]

@@ -225,12 +225,16 @@ class _DriverBase:
         if pend.timer is not None:
             pend.timer.cancel()
             pend.timer = None
-        self.metrics.stream(pend.stream).record(env.now - pend.start,
-                                                pend.nbytes)
+        latency = env.now - pend.start
+        self.metrics.stream(pend.stream).record(latency, pend.nbytes)
         self._retire(pend)
         log = self.metrics.completion_log
         if log is not None:
             log.append(env.now)
+        windowed = self.metrics.windowed
+        if windowed is not None:
+            windowed.observe_completion(env.now, latency, pend.nbytes,
+                                        stream=pend.stream)
         pend.gate.succeed(env.now)
 
     def _expire(self, pend: _PendingRequest) -> None:
@@ -252,6 +256,9 @@ class _DriverBase:
         stats.drop()
         self._retire(pend)
         self.metrics.bump("lost_requests", 1)
+        windowed = self.metrics.windowed
+        if windowed is not None:
+            windowed.observe_drop(env.now, stream=pend.stream)
         pend.gate.succeed(env.now)
 
     def _retire(self, pend: _PendingRequest) -> None:
@@ -273,6 +280,7 @@ class _DriverBase:
         there is nothing left to reconcile here.
         """
         lost = 0
+        windowed = self.metrics.windowed
         for pend in list(self._pending.values()):
             if pend.done:
                 continue
@@ -282,6 +290,9 @@ class _DriverBase:
                 pend.timer = None
             self._retire(pend)
             self.metrics.stream(pend.stream).drop()
+            if windowed is not None:
+                windowed.observe_drop(pend.machine.env.now,
+                                      stream=pend.stream)
             lost += 1
         self._pending.clear()
         if lost:

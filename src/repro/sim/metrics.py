@@ -7,6 +7,20 @@ nearest-rank latency percentiles computed from simulation timestamps.
 
 All arithmetic is integer-picosecond until the final report, so summaries
 are bit-identical across runs, worker processes, and hosts.
+
+Windowed (time-resolved) mode
+-----------------------------
+End-of-run scalars hide transients — burst absorption, incast collapse,
+post-fault recovery all vanish into one p99.  :class:`WindowedMetrics`
+bins completions, latency, drops, and fabric queue depth into fixed-width
+time windows (integer-picosecond bin edges, so window membership is exact
+arithmetic with no float drift) and reports a JSON-serialisable
+:meth:`~WindowedMetrics.timeseries`.  Per-bin latency lives in
+:class:`QuantileSketch` — a deterministic streaming sketch with bounded
+memory — so a million-request window costs the same as a ten-request one.
+Attach a sink via :attr:`Metrics.windowed` and the drivers feed it
+automatically; detached (the default), nothing here runs and summaries
+are byte-identical to the pre-windowed code.
 """
 
 from __future__ import annotations
@@ -15,7 +29,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["LatencyStats", "Metrics", "percentile_ps"]
+__all__ = [
+    "LatencyStats",
+    "Metrics",
+    "QuantileSketch",
+    "WindowedMetrics",
+    "percentile_ps",
+]
 
 
 def percentile_ps(sorted_samples: list[int], q: float) -> int:
@@ -42,6 +62,13 @@ class LatencyStats:
     #: logical requests, so goodput is throughput net of retransmits.
     timeouts: int = 0
     retransmits: int = 0
+    #: Cached sorted view of ``samples_ps`` — every percentile/summary
+    #: call used to re-sort the whole sample list; the cache is built on
+    #: first use and invalidated by :meth:`record`.  (The length check in
+    #: :meth:`_ordered` also heals direct ``samples_ps`` appends, which
+    #: :meth:`Metrics.total` does when merging streams.)
+    _sorted: Optional[list[int]] = field(default=None, repr=False,
+                                         compare=False)
 
     def start(self) -> None:
         self.started += 1
@@ -50,6 +77,7 @@ class LatencyStats:
         if latency_ps < 0:
             raise ValueError(f"negative latency {latency_ps}")
         self.samples_ps.append(latency_ps)
+        self._sorted = None
         self.completed += 1
         self.bytes_total += nbytes
 
@@ -60,8 +88,13 @@ class LatencyStats:
     def in_flight(self) -> int:
         return self.started - self.completed - self.dropped
 
+    def _ordered(self) -> list[int]:
+        if self._sorted is None or len(self._sorted) != len(self.samples_ps):
+            self._sorted = sorted(self.samples_ps)
+        return self._sorted
+
     def percentile_ns(self, q: float) -> float:
-        return percentile_ps(sorted(self.samples_ps), q) / 1000.0
+        return percentile_ps(self._ordered(), q) / 1000.0
 
     def summary(self, elapsed_ps: Optional[int] = None) -> dict:
         """Scalars for this stream (latencies in ns, rates per second)."""
@@ -74,7 +107,7 @@ class LatencyStats:
             "retransmits": self.retransmits,
         }
         if self.samples_ps:
-            ordered = sorted(self.samples_ps)
+            ordered = self._ordered()
             out.update(
                 p50_ns=percentile_ps(ordered, 0.50) / 1000.0,
                 p99_ns=percentile_ps(ordered, 0.99) / 1000.0,
@@ -113,6 +146,11 @@ class Metrics:
         #: time-to-recovery after a fault clears.  ``None`` (default)
         #: records nothing.
         self.completion_log: Optional[list[int]] = None
+        #: Opt-in windowed sink: attach a :class:`WindowedMetrics` and the
+        #: drivers feed it every completion/drop alongside the scalar
+        #: streams.  ``None`` (default) keeps the pre-windowed behaviour
+        #: bit-for-bit.
+        self.windowed: Optional["WindowedMetrics"] = None
 
     def stream(self, name: str) -> LatencyStats:
         try:
@@ -222,3 +260,219 @@ class Metrics:
                 )
             out[name] = value
         return out
+
+
+class QuantileSketch:
+    """Deterministic bounded-memory streaming quantile sketch.
+
+    A KLL-style compactor chain: level ``i`` holds samples of weight
+    ``2**i``; when level 0 fills to ``capacity`` it is sorted and every
+    other element (alternating parity per compaction, so no systematic
+    rank bias) is promoted one level up.  Memory is bounded by
+    ``capacity`` items per level times ``log2(n / capacity)`` levels —
+    a few KiB regardless of stream length — and the compaction schedule
+    depends only on the insertion sequence, so identical streams produce
+    identical sketches on every host and worker.
+
+    While fewer than ``capacity`` samples have been added the sketch is
+    **exact** (nothing has compacted yet): small windows pay no
+    approximation at all.
+    """
+
+    __slots__ = ("capacity", "count", "min", "max", "_levels", "_parity")
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 4:
+            raise ValueError(f"sketch capacity {capacity} too small (< 4)")
+        self.capacity = capacity
+        self.count = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self._levels: list[list[int]] = [[]]
+        self._parity = 0
+
+    def add(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"negative sample {value}")
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        level0 = self._levels[0]
+        level0.append(value)
+        if len(level0) >= self.capacity:
+            self._compact(0)
+
+    def _compact(self, level: int) -> None:
+        buf = self._levels[level]
+        buf.sort()
+        keep = buf[self._parity::2]
+        self._parity ^= 1
+        self._levels[level] = []
+        if level + 1 == len(self._levels):
+            self._levels.append([])
+        nxt = self._levels[level + 1]
+        nxt.extend(keep)
+        if len(nxt) >= self.capacity:
+            self._compact(level + 1)
+
+    def percentile(self, q: float) -> int:
+        """Nearest-rank percentile over the weighted retained samples."""
+        if not self.count:
+            raise ValueError("percentile of an empty sketch")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        # The extremes are tracked exactly; compaction may have evicted
+        # them from the retained set, so answer them directly.
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        weighted = sorted(
+            (value, 1 << level)
+            for level, buf in enumerate(self._levels)
+            for value in buf
+        )
+        total = sum(w for _, w in weighted)
+        target = max(1, math.ceil(q * total))
+        cum = 0
+        for value, weight in weighted:
+            cum += weight
+            if cum >= target:
+                return value
+        return weighted[-1][0]  # pragma: no cover - target <= total
+
+    def retained(self) -> int:
+        """Samples physically held (the memory bound, for tests)."""
+        return sum(len(buf) for buf in self._levels)
+
+
+class _WindowBin:
+    """Accounting for one fixed-width time window of one series."""
+
+    __slots__ = ("completed", "dropped", "bytes", "sketch", "queue_max",
+                 "queue_samples")
+
+    def __init__(self, sketch_capacity: int):
+        self.completed = 0
+        self.dropped = 0
+        self.bytes = 0
+        self.sketch = QuantileSketch(sketch_capacity)
+        self.queue_max = 0
+        self.queue_samples = 0
+
+
+class WindowedMetrics:
+    """Bins completions/latency/drops/queue depth into time windows.
+
+    Bin edges are exact integer arithmetic: window ``i`` covers
+    picoseconds ``[i * window_ps, (i + 1) * window_ps)`` with
+    ``window_ps = round(window_ns * 1000)``, so membership never drifts
+    with float accumulation.  Memory is fixed per bin (counters plus a
+    :class:`QuantileSketch`); bins materialise lazily on first
+    observation, and :meth:`timeseries` fills the gaps with explicit
+    empty bins so consumers see a dense series.
+
+    Streams: every observation lands in the roll-up series; pass
+    ``stream=`` to also bin it under that name (per-tenant / per-edge
+    time series).  Queue-depth samples are roll-up only.
+    """
+
+    def __init__(self, window_ns: float, *, sketch_capacity: int = 128):
+        window_ps = round(window_ns * 1000.0)
+        if window_ps < 1:
+            raise ValueError(
+                f"window_ns {window_ns} rounds to zero picoseconds")
+        self.window_ps = window_ps
+        self.sketch_capacity = sketch_capacity
+        self._series: dict[Optional[str], dict[int, _WindowBin]] = {None: {}}
+
+    # -- observation -------------------------------------------------------
+    def bin_index(self, t_ps: int) -> int:
+        if t_ps < 0:
+            raise ValueError(f"negative timestamp {t_ps}")
+        return t_ps // self.window_ps
+
+    def _bin(self, series: Optional[str], t_ps: int) -> _WindowBin:
+        bins = self._series.setdefault(series, {})
+        idx = self.bin_index(t_ps)
+        try:
+            return bins[idx]
+        except KeyError:
+            b = bins[idx] = _WindowBin(self.sketch_capacity)
+            return b
+
+    def observe_completion(self, t_ps: int, latency_ps: int, nbytes: int = 0,
+                           stream: Optional[str] = None) -> None:
+        targets = (None,) if stream is None else (None, stream)
+        for series in targets:
+            b = self._bin(series, t_ps)
+            b.completed += 1
+            b.bytes += nbytes
+            b.sketch.add(latency_ps)
+
+    def observe_drop(self, t_ps: int, stream: Optional[str] = None) -> None:
+        targets = (None,) if stream is None else (None, stream)
+        for series in targets:
+            self._bin(series, t_ps).dropped += 1
+
+    def observe_queue_depth(self, t_ps: int, depth: int) -> None:
+        b = self._bin(None, t_ps)
+        b.queue_samples += 1
+        if depth > b.queue_max:
+            b.queue_max = depth
+
+    # -- reporting ---------------------------------------------------------
+    def streams(self) -> tuple[str, ...]:
+        return tuple(sorted(s for s in self._series if s is not None))
+
+    def num_bins(self, stream: Optional[str] = None) -> int:
+        bins = self._series.get(stream, {})
+        return (max(bins) + 1) if bins else 0
+
+    def timeseries(self, stream: Optional[str] = None) -> dict:
+        """Dense JSON-serialisable time series for one stream (or the
+        roll-up).
+
+        One entry per window from t=0 through the last observed window,
+        empty windows included (zero counts, ``None`` percentiles — a
+        window with no completions has no latency, and reporting 0.0
+        would fake a perfect one).
+        """
+        bins = self._series.get(stream, {})
+        out = []
+        for idx in range(self.num_bins(stream)):
+            b = bins.get(idx)
+            entry: dict = {
+                "t_ns": idx * self.window_ps / 1000.0,
+                "completed": 0 if b is None else b.completed,
+                "dropped": 0 if b is None else b.dropped,
+                "bytes": 0 if b is None else b.bytes,
+                "queue_max": 0 if b is None else b.queue_max,
+                "p50_ns": None,
+                "p99_ns": None,
+                "max_ns": None,
+            }
+            if b is not None and b.sketch.count:
+                entry["p50_ns"] = b.sketch.percentile(0.50) / 1000.0
+                entry["p99_ns"] = b.sketch.percentile(0.99) / 1000.0
+                entry["max_ns"] = b.sketch.max / 1000.0
+            seconds = self.window_ps * 1e-12
+            entry["throughput_rps"] = entry["completed"] / seconds
+            out.append(entry)
+        return {
+            "window_ns": self.window_ps / 1000.0,
+            "stream": stream,
+            "bins": out,
+        }
+
+    def series(self, key: str, stream: Optional[str] = None,
+               default: float = 0.0) -> list:
+        """One column of :meth:`timeseries` as a flat list (figures/tests).
+
+        ``None`` cells (empty-window percentiles) are replaced by
+        ``default`` so the list is JSON- and table-friendly.
+        """
+        ts = self.timeseries(stream)
+        return [default if b[key] is None else b[key] for b in ts["bins"]]

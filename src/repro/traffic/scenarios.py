@@ -1,0 +1,309 @@
+"""Campaign scenarios for the traffic-pattern subsystem (``traffic`` family).
+
+Four registered scenarios, each pairing a declarative
+:class:`~repro.traffic.spec.TrafficSpec` with the windowed time-resolved
+metrics the specs exist to feed:
+
+* ``bursting_load`` — on/off bursts into one victim over the congestion
+  fabric; the per-window fabric queue depth shows growth during each on
+  phase and drain during each off phase.
+* ``incast_transient`` — a steady background stream plus a synchronized
+  incast burst; per-window p99 exposes the latency collapse and the
+  scenario reports the collapse/recovery timestamps.
+* ``replay_trace`` — record a mixed run to a JSONL trace, lower it back
+  through :meth:`TrafficSpec.from_trace`, and replay on a fresh session;
+  the result asserts the per-edge offered counts round-trip exactly.
+* ``burst_under_flap`` — bursts through a flapping victim-ingress link
+  (reusing :class:`~repro.faults.plan.FaultPlan`) with the drivers'
+  timeout/retransmit layer; per-window drops localise the outages.
+
+Every result value is a JSON scalar or a flat list of scalars so the
+campaign cache and the serial/parallel executors treat traffic runs like
+any other scenario.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.campaign.registry import Param, scenario as campaign_scenario
+from repro.faults.plan import FaultPlan, link_flap
+from repro.sim.metrics import Metrics, WindowedMetrics
+from repro.sim.session import ClusterSpec, Session
+from repro.traffic.run import TrafficRun
+from repro.traffic.spec import (
+    BurstyOnOff,
+    Periodic,
+    Poisson,
+    TrafficSpec,
+    all_to_one,
+    pairwise,
+    permutation,
+)
+from repro.traffic.trace import load_trace, save_trace
+
+__all__: list[str] = []
+
+
+def _win_lists(windows: WindowedMetrics) -> dict:
+    """The compact per-window lists every traffic result carries."""
+    return {
+        "window_ns": windows.window_ps / 1000.0,
+        "win_completed": [int(v) for v in windows.series("completed")],
+        "win_dropped": [int(v) for v in windows.series("dropped")],
+        "win_queue_max": [int(v) for v in windows.series("queue_max")],
+        "win_p99_ns": [round(v, 1) for v in windows.series("p99_ns")],
+    }
+
+
+@campaign_scenario(
+    "bursting_load",
+    params=[
+        Param("fanin", int, default=4, help="bursting senders"),
+        Param("on_ns", float, default=2000.0, help="on-phase duration"),
+        Param("off_ns", float, default=2000.0, help="off-phase duration"),
+        Param("rate_on_mmps", float, default=6.0, help="on-phase rate/sender"),
+        Param("cycles", int, default=3, help="on/off cycles"),
+        Param("size", int, default=4096, help="message size in bytes"),
+        Param("depth", int, default=128, help="per-link queue depth"),
+        Param("window_ns", float, default=500.0, help="metrics window width"),
+        Param("pattern", str, default="incast",
+              choices=("incast", "permutation"),
+              help="edge graph: all-to-one or shift-by-one"),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("seed", int, default=1),
+    ],
+    description="on/off bursts into one victim: windowed queue depth "
+                "shows growth during on phases, drain during off phases",
+    tiny={"fanin": 2, "cycles": 2, "on_ns": 1000.0, "off_ns": 1000.0,
+          "rate_on_mmps": 10.0},
+    sweep={"rate_on_mmps": (3.0, 6.0, 12.0), "cycles": (2, 4)},
+    tags=("traffic", "congestion", "windowed"),
+)
+def _bursting_load(fanin: int, on_ns: float, off_ns: float,
+                   rate_on_mmps: float, cycles: int, size: int, depth: int,
+                   window_ns: float, pattern: str, config: str,
+                   seed: int) -> dict:
+    burst = BurstyOnOff(on_ns=on_ns, off_ns=off_ns,
+                        rate_on_mmps=rate_on_mmps, cycles=cycles)
+    if pattern == "incast":
+        edges = all_to_one(fanin, fanin, burst, size=size, stream="burst")
+        nodes = fanin + 1
+    else:
+        edges = permutation(fanin + 1, 1, burst, size=size, stream="burst")
+        nodes = fanin + 1
+    spec = TrafficSpec(edges=edges, nodes=nodes, seed=seed)
+    windows = WindowedMetrics(window_ns=window_ns)
+    with Session(ClusterSpec(nodes=nodes, config=config,
+                             fabric="congestion",
+                             link_queue_depth=depth)) as sess:
+        run = TrafficRun(sess, spec, windows=windows)
+        metrics = run.run()
+        metrics.observe_fabric(sess.cluster.fabric, elapsed_ps=sess.env.now)
+        summary = metrics.summary(elapsed_ps=sess.env.now)
+    queue = windows.series("queue_max")
+    return {
+        "offered": run.offered_total(),
+        "completed": summary["completed"],
+        "lost": summary["dropped"],
+        "queue_peak": int(max(queue, default=0)),
+        "queue_final": int(queue[-1]) if queue else 0,
+        "p99_ns": summary.get("p99_ns", 0.0),
+        "goodput_mmps": round(summary.get("goodput_mmps", 0.0), 3),
+        **_win_lists(windows),
+    }
+
+
+@campaign_scenario(
+    "incast_transient",
+    params=[
+        Param("fanin", int, default=4, help="bursting senders"),
+        Param("bg_rate_mmps", float, default=0.5, help="background rate"),
+        Param("bg_count", int, default=12, help="background requests"),
+        Param("burst_at_ns", float, default=6000.0, help="burst start"),
+        Param("burst_ns", float, default=1500.0, help="burst duration"),
+        Param("burst_rate_mmps", float, default=8.0, help="burst rate/sender"),
+        Param("size", int, default=4096, help="message size in bytes"),
+        Param("depth", int, default=256, help="per-link queue depth"),
+        Param("window_ns", float, default=500.0, help="metrics window width"),
+        Param("collapse_ns", float, default=1500.0,
+              help="per-window p99 above this counts as collapsed"),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("seed", int, default=1),
+    ],
+    description="background stream + synchronized incast burst: windowed "
+                "p99 collapse and recovery timestamps",
+    tiny={"fanin": 2, "bg_count": 6, "burst_rate_mmps": 10.0},
+    sweep={"burst_rate_mmps": (4.0, 8.0, 16.0), "fanin": (2, 4, 8)},
+    tags=("traffic", "congestion", "windowed"),
+)
+def _incast_transient(fanin: int, bg_rate_mmps: float, bg_count: int,
+                      burst_at_ns: float, burst_ns: float,
+                      burst_rate_mmps: float, size: int, depth: int,
+                      window_ns: float, collapse_ns: float, config: str,
+                      seed: int) -> dict:
+    target = fanin
+    background = pairwise(
+        ((0, target),),
+        Periodic(rate_mmps=bg_rate_mmps, count=bg_count),
+        size=size, stream="bg")
+    burst = all_to_one(
+        fanin, target,
+        BurstyOnOff(on_ns=burst_ns, off_ns=1.0, rate_on_mmps=burst_rate_mmps,
+                    phase_ns=burst_at_ns),
+        size=size, stream="burst")
+    spec = TrafficSpec(edges=background + burst, nodes=fanin + 1, seed=seed)
+    windows = WindowedMetrics(window_ns=window_ns)
+    with Session(ClusterSpec(nodes=fanin + 1, config=config,
+                             fabric="congestion",
+                             link_queue_depth=depth)) as sess:
+        run = TrafficRun(sess, spec, windows=windows)
+        metrics = run.run()
+        metrics.observe_fabric(sess.cluster.fabric, elapsed_ps=sess.env.now)
+        summary = metrics.summary(elapsed_ps=sess.env.now)
+    # Collapse = first window whose p99 crosses the threshold; recovery =
+    # first later window that completed work back under it.
+    p99s = windows.series("p99_ns")
+    completed = windows.series("completed")
+    collapse_idx = next((i for i, v in enumerate(p99s)
+                         if v and v >= collapse_ns), None)
+    recovery_idx = None
+    if collapse_idx is not None:
+        recovery_idx = next(
+            (i for i in range(collapse_idx + 1, len(p99s))
+             if completed[i] and 0 < p99s[i] < collapse_ns), None)
+    w_ns = windows.window_ps / 1000.0
+    return {
+        "offered": run.offered_total(),
+        "completed": summary["completed"],
+        "lost": summary["dropped"],
+        "p99_ns": summary.get("p99_ns", 0.0),
+        "collapse_t_ns": (-1.0 if collapse_idx is None
+                          else collapse_idx * w_ns),
+        "recovery_t_ns": (-1.0 if recovery_idx is None
+                          else recovery_idx * w_ns),
+        **_win_lists(windows),
+    }
+
+
+@campaign_scenario(
+    "replay_trace",
+    params=[
+        Param("nodes", int, default=4, help="cluster size"),
+        Param("rate_mmps", float, default=2.0, help="offered rate/edge"),
+        Param("count", int, default=10, help="requests per edge"),
+        Param("size", int, default=1024, help="message size in bytes"),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("seed", int, default=1),
+    ],
+    description="record a Poisson permutation run to a JSONL trace, lower "
+                "it back via from_trace, replay: offered counts round-trip",
+    tiny={"nodes": 3, "count": 6},
+    sweep={"nodes": (3, 4, 6), "seed": (1, 2)},
+    tags=("traffic", "determinism"),
+)
+def _replay_trace(nodes: int, rate_mmps: float, count: int, size: int,
+                  config: str, seed: int) -> dict:
+    spec = TrafficSpec(
+        edges=permutation(nodes, 1,
+                          Poisson(rate_mmps=rate_mmps, count=count),
+                          size=(size, size * 2)),
+        nodes=nodes, seed=seed)
+    record: list = []
+    with Session(ClusterSpec(nodes=nodes, config=config)) as sess:
+        run = TrafficRun(sess, spec, record=record)
+        recorded = run.run().summary(elapsed_ps=sess.env.now)
+        offered_rec = run.offered_counts()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "traffic.jsonl"
+        save_trace(path, record)
+        replay_spec = TrafficSpec.from_trace(load_trace(path),
+                                             nodes=nodes, seed=seed)
+        with Session(ClusterSpec(nodes=nodes, config=config)) as sess:
+            run2 = TrafficRun(sess, replay_spec)
+            replayed = run2.run().summary(elapsed_ps=sess.env.now)
+            offered_rep = run2.offered_counts()
+    return {
+        "edges": len(spec.edges),
+        "offered": sum(offered_rec.values()),
+        "recorded_events": len(record),
+        "counts_match": offered_rec == offered_rep,
+        "completed_record": recorded["completed"],
+        "completed_replay": replayed["completed"],
+        "bytes_match": recorded["bytes"] == replayed["bytes"],
+    }
+
+
+@campaign_scenario(
+    "burst_under_flap",
+    params=[
+        Param("fanin", int, default=3, help="bursting senders"),
+        Param("on_ns", float, default=2500.0, help="on-phase duration"),
+        Param("off_ns", float, default=2500.0, help="off-phase duration"),
+        Param("rate_on_mmps", float, default=4.0, help="on-phase rate/sender"),
+        Param("cycles", int, default=2, help="on/off cycles"),
+        Param("size", int, default=2048, help="message size in bytes"),
+        Param("depth", int, default=64, help="per-link queue depth"),
+        Param("first_down_ns", float, default=1000.0, help="outage start"),
+        Param("down_ns", float, default=2000.0, help="outage duration"),
+        Param("timeout_ns", float, default=4000.0,
+              help="per-request retransmission timeout"),
+        Param("retries", int, default=6, help="retransmission budget"),
+        Param("window_ns", float, default=500.0, help="metrics window width"),
+        Param("config", str, default="int", choices=("int", "dis")),
+        Param("seed", int, default=1),
+    ],
+    description="bursts through a flapping victim-ingress link: windowed "
+                "drops localise the outage, retransmits recover it",
+    tiny={"fanin": 2, "cycles": 1, "on_ns": 1500.0},
+    sweep={"down_ns": (1000.0, 2000.0, 4000.0)},
+    tags=("traffic", "faults", "reliability", "windowed"),
+)
+def _burst_under_flap(fanin: int, on_ns: float, off_ns: float,
+                      rate_on_mmps: float, cycles: int, size: int,
+                      depth: int, first_down_ns: float, down_ns: float,
+                      timeout_ns: float, retries: int, window_ns: float,
+                      config: str, seed: int) -> dict:
+    target = fanin
+    spec = TrafficSpec(
+        edges=all_to_one(fanin, target,
+                         BurstyOnOff(on_ns=on_ns, off_ns=off_ns,
+                                     rate_on_mmps=rate_on_mmps,
+                                     cycles=cycles),
+                         size=size, stream="burst"),
+        nodes=fanin + 1, seed=seed)
+    windows = WindowedMetrics(window_ns=window_ns)
+    metrics = Metrics()
+    metrics.completion_log = []
+    with Session(ClusterSpec(nodes=fanin + 1, config=config,
+                             fabric="congestion",
+                             link_queue_depth=depth)) as sess:
+        injector = sess.attach_faults(FaultPlan(
+            faults=link_flap(f"->host{target}", first_down_ns=first_down_ns,
+                             down_ns=down_ns, up_ns=on_ns + off_ns,
+                             cycles=cycles),
+            seed=seed,
+        ))
+        run = TrafficRun(sess, spec, metrics=metrics, windows=windows,
+                         timeout_ns=timeout_ns, retries=retries)
+        run.run()
+        fabric = sess.cluster.fabric
+        metrics.observe_fabric(fabric, elapsed_ps=sess.env.now)
+        summary = metrics.summary(elapsed_ps=sess.env.now)
+        clear_ps = injector.last_link_clear_ps
+        first_after = metrics.first_completion_after(clear_ps)
+        fault_drops = fabric.total_fault_link_drops()
+    return {
+        "offered": run.offered_total(),
+        "completed": summary["completed"],
+        "lost": summary["dropped"],
+        "timeouts": summary["timeouts"],
+        "retransmits": summary["retransmits"],
+        "fault_link_drops": fault_drops,
+        "last_clear_ns": clear_ps / 1000.0,
+        "recovery_ns": (-1.0 if first_after is None
+                        else (first_after - clear_ps) / 1000.0),
+        "p99_ns": summary.get("p99_ns", 0.0),
+        **_win_lists(windows),
+    }

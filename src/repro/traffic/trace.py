@@ -1,0 +1,76 @@
+"""Traffic traces: record offered requests, save/load, replay.
+
+A trace is an ordered tuple of :class:`TraceEvent` — one ``(t_ns, src,
+dst, nbytes)`` record per offered request, in issue order.  Traces come
+from :class:`~repro.traffic.run.TrafficRun` (pass ``record=[]``) or any
+external tool that writes the JSONL format; they lower back to a spec via
+:meth:`~repro.traffic.spec.TrafficSpec.from_trace`, closing the
+record → save → load → replay loop.
+
+File format: one compact JSON object per line, ``{"t_ns": ..., "src":
+..., "dst": ..., "nbytes": ...}``, in event order.  Append-friendly and
+diff-able, like the campaign caches.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Union
+
+__all__ = ["TraceEvent", "load_trace", "save_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One offered request: issue time (ns), source/destination, size."""
+
+    t_ns: float
+    src: int
+    dst: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.t_ns < 0:
+            raise ValueError(f"TraceEvent: negative time {self.t_ns}")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(
+                f"TraceEvent: negative rank {self.src}->{self.dst}")
+        if self.nbytes < 0:
+            raise ValueError(f"TraceEvent: negative size {self.nbytes}")
+
+
+def save_trace(path: Union[str, Path],
+               events: Iterable[TraceEvent]) -> int:
+    """Write ``events`` as JSONL; returns the number of records written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with path.open("w") as fh:
+        for ev in events:
+            fh.write(json.dumps(
+                {"t_ns": ev.t_ns, "src": ev.src, "dst": ev.dst,
+                 "nbytes": ev.nbytes},
+                sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def load_trace(path: Union[str, Path]) -> tuple[TraceEvent, ...]:
+    """Read a JSONL trace; blank lines are tolerated, torn lines are not."""
+    events = []
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                events.append(TraceEvent(
+                    t_ns=float(rec["t_ns"]), src=int(rec["src"]),
+                    dst=int(rec["dst"]), nbytes=int(rec["nbytes"])))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: bad trace record {line!r}") from exc
+    return tuple(events)

@@ -33,3 +33,29 @@ def test_list_accepts_legacy_params_flag(capsys):
     assert main(["list", "--params"]) == 0
     out = capsys.readouterr().out
     assert "default sweep" in out
+
+
+def test_every_registered_tag_is_listable(capsys):
+    tags = sorted({t for sc in all_scenarios().values() for t in sc.tags})
+    assert tags, "no scenario carries a tag — weak fixture"
+    for tag in tags:
+        assert main(["list", "--tag", tag, "--brief"]) == 0
+        out = capsys.readouterr().out
+        listed = {line.split()[0] for line in out.splitlines() if line}
+        expected = {name for name, sc in all_scenarios().items()
+                    if tag in sc.tags}
+        assert listed == expected, f"--tag {tag}: {listed} != {expected}"
+
+
+def test_tag_filter_shows_tags_in_the_listing(capsys):
+    assert main(["list", "--tag", "traffic"]) == 0
+    out = capsys.readouterr().out
+    assert "[traffic" in out
+    assert "bursting_load" in out
+
+
+def test_unknown_tag_fails_and_names_the_known_tags(capsys):
+    assert main(["list", "--tag", "nonexistent-tag"]) == 1
+    err = capsys.readouterr().err
+    assert "known tags" in err
+    assert "traffic" in err

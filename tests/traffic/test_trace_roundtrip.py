@@ -1,0 +1,84 @@
+"""Record → save → load → replay: the trace loop closes exactly."""
+
+import pytest
+
+from repro.sim import ClusterSpec, Session
+from repro.traffic import (
+    Poisson,
+    TraceEvent,
+    TrafficRun,
+    TrafficSpec,
+    load_trace,
+    permutation,
+    save_trace,
+)
+
+
+@pytest.fixture
+def recorded(tmp_path):
+    """A short recorded run: (spec, record, trace path, offered counts)."""
+    spec = TrafficSpec(
+        edges=permutation(4, 1, Poisson(rate_mmps=2.0, count=6),
+                          size=(256, 1024)),
+        nodes=4, seed=13)
+    record = []
+    with Session(ClusterSpec(nodes=4)) as sess:
+        run = TrafficRun(sess, spec, record=record)
+        run.run()
+        offered = run.offered_counts()
+    path = tmp_path / "run.jsonl"
+    assert save_trace(path, record) == len(record)
+    return spec, record, path, offered
+
+
+def test_file_roundtrip_preserves_every_event(recorded):
+    _, record, path, _ = recorded
+    assert load_trace(path) == tuple(record)
+
+
+def test_replay_offers_identical_per_edge_counts(recorded):
+    spec, record, path, offered = recorded
+    replay_spec = TrafficSpec.from_trace(load_trace(path),
+                                         nodes=4, seed=spec.seed)
+    with Session(ClusterSpec(nodes=4)) as sess:
+        run = TrafficRun(sess, replay_spec)
+        run.run()
+        replayed = run.offered_counts()
+    # Edge streams are named from (src, dst), so the keys line up even
+    # though the replay spec was rebuilt from the flat event list.
+    assert replayed == offered
+    assert sum(replayed.values()) == len(record)
+
+
+def test_replay_preserves_per_request_sizes(recorded):
+    spec, record, path, _ = recorded
+    replay_spec = TrafficSpec.from_trace(load_trace(path), nodes=4)
+    rerecord = []
+    with Session(ClusterSpec(nodes=4)) as sess:
+        TrafficRun(sess, replay_spec, record=rerecord).run()
+    assert [(e.src, e.dst, e.nbytes) for e in rerecord] == \
+        [(e.src, e.dst, e.nbytes) for e in record]
+
+
+def test_load_trace_rejects_torn_records(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"t_ns": 1.0, "src": 0, "dst": 1, "nbytes": 64}\n'
+                    '{"t_ns": 2.0, "src": 0\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        load_trace(path)
+
+
+def test_load_trace_tolerates_blank_lines(tmp_path):
+    path = tmp_path / "gappy.jsonl"
+    path.write_text('\n{"t_ns": 1.0, "src": 0, "dst": 1, "nbytes": 64}\n\n')
+    assert load_trace(path) == (TraceEvent(t_ns=1.0, src=0, dst=1,
+                                           nbytes=64),)
+
+
+def test_trace_event_validation():
+    with pytest.raises(ValueError):
+        TraceEvent(t_ns=-1.0, src=0, dst=1, nbytes=0)
+    with pytest.raises(ValueError):
+        TraceEvent(t_ns=0.0, src=-1, dst=1, nbytes=0)
+    with pytest.raises(ValueError):
+        TraceEvent(t_ns=0.0, src=0, dst=1, nbytes=-4)

@@ -1,0 +1,99 @@
+"""The registered ``traffic`` scenario family: transients + equivalence."""
+
+import json
+
+from repro.campaign import run_points
+from repro.campaign.registry import all_scenarios, get_scenario
+
+TRAFFIC_SCENARIOS = ("bursting_load", "incast_transient", "replay_trace",
+                     "burst_under_flap")
+
+
+class TestRegistration:
+    def test_family_is_registered_with_the_traffic_tag(self):
+        scenarios = all_scenarios()
+        for name in TRAFFIC_SCENARIOS:
+            assert name in scenarios, f"{name} not registered"
+            assert "traffic" in scenarios[name].tags
+            assert scenarios[name].tiny, f"{name} has no --tiny grid"
+            assert scenarios[name].sweep, f"{name} has no default sweep"
+
+    def test_results_are_json_serialisable(self):
+        for name in TRAFFIC_SCENARIOS:
+            sc = get_scenario(name)
+            json.dumps(sc.run(sc.tiny))
+
+
+class TestBurstingLoad:
+    def test_queue_grows_during_on_phases_and_drains_during_off(self):
+        sc = get_scenario("bursting_load")
+        res = sc.run({})  # defaults: 4 senders x 6 Mmps into a 12 Mmps link
+        queue = res["win_queue_max"]
+        windows_per_phase = 4  # 2000 ns phases / 500 ns windows
+        cycle = 2 * windows_per_phase
+        assert res["queue_peak"] > 10, f"no congestion transient: {queue}"
+        for c in range(3):  # default cycles=3
+            base = c * cycle
+            peak = max(queue[base:base + cycle], default=0)
+            assert peak > 2 * max(queue[base], 1), \
+                f"cycle {c}: no on-phase growth in {queue}"
+            # Drained well below the cycle peak by the next cycle's start.
+            nxt = min(base + cycle, len(queue) - 1)
+            assert queue[nxt] < peak / 2, \
+                f"cycle {c}: no off-phase drain in {queue}"
+        assert res["queue_final"] == 0
+        assert res["completed"] == res["offered"]
+
+    def test_overload_knob_actually_steers_the_peak(self):
+        sc = get_scenario("bursting_load")
+        mild = sc.run({"rate_on_mmps": 3.0, "cycles": 1})
+        hot = sc.run({"rate_on_mmps": 12.0, "cycles": 1})
+        assert hot["queue_peak"] > 2 * max(mild["queue_peak"], 1)
+
+
+class TestIncastTransient:
+    def test_reports_p99_collapse_and_recovery_timestamps(self):
+        sc = get_scenario("incast_transient")
+        res = sc.run({})
+        assert res["collapse_t_ns"] >= 0, "p99 never collapsed"
+        assert res["recovery_t_ns"] > res["collapse_t_ns"], \
+            "p99 never recovered"
+        # The collapse must sit at/after the burst start, not during the
+        # pre-burst background (whose p99 is the baseline).
+        assert res["collapse_t_ns"] >= 6000.0 - res["window_ns"]
+        peak = max(res["win_p99_ns"])
+        baseline = min(v for v in res["win_p99_ns"] if v > 0)
+        assert peak > 2 * baseline
+
+
+class TestReplayTrace:
+    def test_offered_counts_round_trip(self):
+        sc = get_scenario("replay_trace")
+        res = sc.run(sc.tiny)
+        assert res["counts_match"] is True
+        assert res["bytes_match"] is True
+        assert res["recorded_events"] == res["offered"]
+
+
+class TestBurstUnderFlap:
+    def test_outage_drops_then_retransmits_recover(self):
+        sc = get_scenario("burst_under_flap")
+        res = sc.run({})
+        assert res["fault_link_drops"] > 0, "flap never dropped anything"
+        assert res["retransmits"] > 0, "drops never retransmitted"
+        assert res["completed"] == res["offered"], \
+            "retry budget failed to recover the bursts"
+        assert res["recovery_ns"] >= 0
+
+
+class TestExecutorEquivalence:
+    def test_serial_and_parallel_traffic_results_are_identical(self, tmp_path):
+        sc = get_scenario("bursting_load")
+        points = [dict(sc.tiny), {**sc.tiny, "seed": 2}]
+
+        def run(workers, cache):
+            res = run_points("bursting_load", points, workers=workers,
+                             cache_path=tmp_path / cache)
+            return res.results()
+
+        assert run(1, "serial.jsonl") == run(2, "parallel.jsonl")
