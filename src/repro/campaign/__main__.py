@@ -34,7 +34,7 @@ from repro.campaign.cache import (
     ResultCache,
     merge_caches,
 )
-from repro.campaign.executor import run_grid, run_jobs
+from repro.campaign.executor import run_grid, run_jobs, run_observed
 from repro.campaign.planner import plan_grid, plan_points
 from repro.campaign.registry import ScenarioError, all_scenarios, get_scenario
 from repro.campaign.shard import ShardSpec, shard_cache_name
@@ -138,20 +138,54 @@ def cmd_run(args) -> int:
     overrides = dict(sc.tiny) if args.tiny else {}
     overrides.update(_parse_kv(args.param, "param"))
     jobs = plan_points(args.scenario, [overrides], base_seed=args.seed)
-    if args.profile:
-        # Profiled runs bypass the cache (a cache hit would profile nothing).
-        import cProfile
-        import pstats
+    want_profile = args.profile or args.profile_out
+    want_obs = args.trace_out or args.report
+    if want_profile or want_obs:
+        # Profiled and observed runs bypass the cache — a cache hit would
+        # replay a stored result dict and there would be nothing to measure.
+        # The flags compose: profiling wraps the observed run.
+        profiler = None
+        if want_profile:
+            import cProfile
 
-        profiler = cProfile.Profile()
-        profiler.enable()
-        res = run_jobs(jobs, cache_path=None,
-                       progress=print if args.verbose else None)
-        profiler.disable()
+            profiler = cProfile.Profile()
+            profiler.enable()
+        if want_obs:
+            from repro.obs import ObsCapture
+            from repro.perf.meter import KernelMeter
+
+            capture = ObsCapture()
+            meter = KernelMeter()
+            res = run_observed(jobs, capture, meter=meter,
+                               progress=print if args.verbose else None)
+        else:
+            res = run_jobs(jobs, cache_path=None,
+                           progress=print if args.verbose else None)
+        if profiler is not None:
+            profiler.disable()
         _print_records(res)
-        print(f"\n--- cProfile: top 25 by cumulative time "
-              f"({args.scenario}) ---")
-        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        if profiler is not None:
+            import pstats
+
+            print(f"\n--- cProfile: top 25 by cumulative time "
+                  f"({args.scenario}) ---")
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+            if args.profile_out:
+                profiler.dump_stats(args.profile_out)
+                print(f"wrote full profile to {args.profile_out} "
+                      f"(inspect with python -m pstats)")
+        if args.trace_out:
+            capture.export_trace(args.trace_out)
+            print(f"wrote {args.trace_out} (open in https://ui.perfetto.dev)")
+        if args.report:
+            job = jobs[0]
+            doc = capture.build_report(
+                meter=meter, scenario=args.scenario,
+                params=dict(job.params), seed=job.seed)
+            Path(args.report).write_text(
+                json.dumps(doc, indent=1, sort_keys=True) + "\n")
+            print(f"wrote {args.report} "
+                  f"(view with python -m repro.obs view {args.report})")
         return 0
     res = run_jobs(jobs, cache_path=None if args.no_cache else _cache_path(args),
                    progress=print if args.verbose else None,
@@ -164,11 +198,16 @@ def cmd_run(args) -> int:
 def cmd_perf(args) -> int:
     from repro.perf.basket import compare_to_baseline, load_bench, run_baskets
 
-    doc = run_baskets(tiny=args.tiny, names=args.basket or None, progress=print,
+    # With --json, stdout is the machine-readable document — progress and
+    # human-readable lines are suppressed (errors still go to stderr).
+    doc = run_baskets(tiny=args.tiny, names=args.basket or None,
+                      progress=None if args.json else print,
                       repeats=args.repeats)
+    status = 0
     if args.out:
         Path(args.out).write_text(json.dumps(doc, indent=1) + "\n")
-        print(f"wrote {args.out}")
+        if not args.json:
+            print(f"wrote {args.out}")
     if args.check:
         bench = load_bench(args.check)
         which = "tiny" if args.tiny else "full"
@@ -178,14 +217,23 @@ def cmd_perf(args) -> int:
             print(f"error: no comparable baskets in {args.check}", file=sys.stderr)
             return 2
         failed = {k: r for k, r in ratios.items() if r < args.min_ratio}
-        for name, ratio in sorted(ratios.items()):
-            status = "FAIL" if name in failed else "ok"
-            print(f"  {name:>14}: {ratio:.2f}x of committed ({status})")
+        doc["check"] = {
+            "against": str(args.check),
+            "min_ratio": args.min_ratio,
+            "ratios": {k: ratios[k] for k in sorted(ratios)},
+            "failed": sorted(failed),
+        }
+        if not args.json:
+            for name, ratio in sorted(ratios.items()):
+                verdict = "FAIL" if name in failed else "ok"
+                print(f"  {name:>14}: {ratio:.2f}x of committed ({verdict})")
         if failed:
             print(f"error: events/sec regressed below {args.min_ratio:.2f}x "
                   f"of the committed numbers: {sorted(failed)}", file=sys.stderr)
-            return 1
-    return 0
+            status = 1
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    return status
 
 
 def _record_manifest(args, scenario: str, grid: dict) -> None:
@@ -388,6 +436,20 @@ def main(argv=None) -> int:
     p_run.add_argument("--profile", action="store_true",
                        help="run under cProfile and print the top-25 "
                             "cumulative entries (disables the cache)")
+    p_run.add_argument("--profile-out", default=None, metavar="FILE",
+                       dest="profile_out",
+                       help="dump the full cProfile stats to FILE for "
+                            "offline analysis (implies --profile; inspect "
+                            "with python -m pstats FILE or snakeviz)")
+    p_run.add_argument("--trace-out", default=None, metavar="FILE",
+                       dest="trace_out",
+                       help="export a Perfetto/Chrome trace of the run to "
+                            "FILE (disables the cache; open in "
+                            "ui.perfetto.dev)")
+    p_run.add_argument("--report", default=None, metavar="FILE",
+                       help="write a structured run-telemetry report to "
+                            "FILE (disables the cache; view with "
+                            "python -m repro.obs view FILE)")
     add_reliability_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
 
@@ -406,6 +468,10 @@ def main(argv=None) -> int:
     p_perf.add_argument("--check", default=None, metavar="BENCH_JSON",
                         help="compare events/sec against a committed "
                              "BENCH_*.json and fail on regression")
+    p_perf.add_argument("--json", action="store_true",
+                        help="emit the measurement document (plus any "
+                             "--check ratios) as JSON on stdout and "
+                             "suppress progress output")
     p_perf.add_argument("--min-ratio", type=float, default=0.70,
                         help="minimum acceptable events/sec ratio vs the "
                              "committed numbers (default 0.70 = fail when "

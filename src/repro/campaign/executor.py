@@ -30,7 +30,7 @@ from repro.campaign.shard import ShardSpec, as_shard
 from repro.campaign.version import code_version
 
 __all__ = ["CampaignResult", "JobTimeoutError", "run_grid", "run_jobs",
-           "run_one", "run_points"]
+           "run_observed", "run_one", "run_points"]
 
 
 class JobTimeoutError(RuntimeError):
@@ -349,6 +349,46 @@ def run_jobs(
         records=[by_key[job.key] for job in jobs],
         executed=executed,
         cached=len(jobs) - executed,
+        wall_s=time.perf_counter() - t_start,
+    )
+
+
+def run_observed(
+    jobs: Sequence[Job],
+    capture,
+    meter=None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Execute jobs serially under ambient observability.
+
+    ``capture`` is an (unentered) :class:`~repro.obs.capture.ObsCapture`
+    and ``meter`` an optional :class:`~repro.perf.meter.KernelMeter`;
+    both contexts are entered around the whole run, so every session any
+    job builds is traced, observed, and metered.  Observed runs are
+    deliberately cache-less and in-process: a cache hit would observe
+    nothing, and worker processes would strand the observers.
+    """
+    import contextlib
+
+    t_start = time.perf_counter()
+    version = code_version()
+    records: list[dict] = []
+    with contextlib.ExitStack() as stack:
+        if meter is not None:
+            stack.enter_context(meter)
+        stack.enter_context(capture)
+        for job in jobs:
+            rec = _execute_job(
+                (job.scenario, job.params, job.seed, job.key, version))
+            records.append(rec)
+            if progress is not None:
+                progress(f"[{len(records)}/{len(jobs)}] done "
+                         f"{rec['scenario']} {rec['params']}")
+    return CampaignResult(
+        jobs=list(jobs),
+        records=records,
+        executed=len(records),
+        cached=0,
         wall_s=time.perf_counter() - t_start,
     )
 

@@ -179,6 +179,8 @@ class SpinNIC(BaselineNIC):
             self._payload_proc(state, pkt), name=self._ph_name
         )
         state.extra["handler_events"].append(proc)
+        if self._obs_hpu_probe is not None:
+            self._obs_hpu_probe(self.rank, self.env.now, self.hpus.waiting)
 
     def _payload_proc(self, state: _MessageRx, pkt: Packet) -> Generator:
         hs: HandlerSet = state.extra["hs"]
@@ -204,6 +206,8 @@ class SpinNIC(BaselineNIC):
             yield evs[0] if len(evs) == 1 else self.env.all_of(evs)
             state.dma_events = []
         self.messages_received += 1
+        if self._obs_msg_probe is not None:
+            self._obs_msg_probe(self.rank, self.env.now, msg)
 
         hs: HandlerSet = state.extra["hs"]
         if hs.completion_handler is not None:

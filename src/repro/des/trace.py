@@ -12,7 +12,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-__all__ = ["Span", "Timeline", "render_timeline"]
+__all__ = ["Span", "Timeline", "render_timeline", "span_category"]
+
+#: Span categories, keyed by exact lane name.  Lanes not listed here are
+#: classified by prefix in :func:`span_category` (``HPU<i>`` → ``hpu``).
+_LANE_CATEGORIES = {
+    "CPU": "cpu",
+    "NIC": "rx",
+    "NIC-tx": "tx",
+    "DMA": "dma",
+}
+
+
+def span_category(lane: str) -> str:
+    """Coarse resource category for a timeline lane name.
+
+    The observability layer (:mod:`repro.obs`) groups lanes into
+    categories — ``cpu``, ``rx`` (match unit), ``tx`` (wire injection),
+    ``dma``, ``hpu`` — for occupancy roll-ups and Perfetto track naming.
+    Unknown lanes report ``"other"`` rather than raising, so scenario
+    code may record custom lanes freely.
+    """
+    cat = _LANE_CATEGORIES.get(lane)
+    if cat is not None:
+        return cat
+    if lane.startswith("HPU"):
+        return "hpu"
+    return "other"
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +81,13 @@ class Timeline:
     _t1: int = field(default=0, repr=False, compare=False)
     _tallied: int = field(default=0, repr=False, compare=False)
 
+    #: Observer probe slot (see :mod:`repro.obs`): an attached observer
+    #: sets an *instance* attribute ``(rank, lane, start, end, label) ->
+    #: None`` called after each recorded span.  The class-level ``None``
+    #: keeps the default path to one identity test; the probe is a pure
+    #: reader — span storage and ``canonical_bytes()`` are unaffected.
+    _probe = None
+
     def record(self, rank: int, lane: str, start: int, end: int, label: str = "") -> None:
         if not self.enabled:
             return
@@ -62,6 +95,8 @@ class Timeline:
             self._retally()
         self.spans.append(Span(rank, lane, start, end, label))
         self._tally(rank, lane, start, end)
+        if self._probe is not None:
+            self._probe(rank, lane, start, end, label)
 
     def _tally(self, rank: int, lane: str, start: int, end: int) -> None:
         key = (rank, lane)

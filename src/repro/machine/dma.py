@@ -61,6 +61,11 @@ class DMAEngine:
         self.bytes_read = 0
         self.bytes_written = 0
 
+    def stats(self) -> dict:
+        """JSON-ready transfer accounting (telemetry reports)."""
+        return {"bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written}
+
     # -- helpers -----------------------------------------------------------
     def _bw_ps(self, nbytes: int) -> int:
         return self.params.dma_per_op_ps + round(nbytes * self.G_eff)

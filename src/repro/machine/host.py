@@ -106,6 +106,20 @@ class HostCPU:
         self.noise = _NO_NOISE
         self.cores.reset()
 
+    def stats(self, elapsed_ps: Optional[int] = None) -> dict:
+        """JSON-ready CPU accounting (telemetry reports).
+
+        ``busy_frac`` normalises over the whole core pool, mirroring
+        :meth:`repro.core.hpu.HPUPool.utilization`.
+        """
+        elapsed = self.env.now if elapsed_ps is None else elapsed_ps
+        return {
+            "cores": self.params.cores,
+            "busy_ns": self.busy_ps / 1000.0,
+            "busy_frac": (self.busy_ps / (elapsed * self.params.cores)
+                          if elapsed > 0 else 0.0),
+        }
+
     # -- primitive: timed work on a core ----------------------------------
     def run(self, work_ps: int, label: str = "work") -> Generator:
         """Occupy one core for ``work_ps`` (inflated by noise)."""

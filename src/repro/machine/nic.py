@@ -309,6 +309,19 @@ class BaselineNIC:
     #: path to a single identity test.
     _handler_fault = None
 
+    #: Observer probe slots (see :mod:`repro.obs`), both neutral
+    #: class-level ``None`` defaults set as *instance* attributes by an
+    #: attached observer — pure readers, never scheduling kernel events:
+    #:
+    #: * ``_obs_msg_probe``: ``(rank, now_ps, message) -> None``, fired
+    #:   when a received message completes (all packets arrived, DMA
+    #:   durable) on both the baseline and sPIN completion paths;
+    #: * ``_obs_hpu_probe``: ``(rank, now_ps, waiting) -> None``, fired by
+    #:   the sPIN NIC after each payload-packet dispatch with the HPU
+    #:   input-queue depth (the §3.2 flow-control signal).
+    _obs_msg_probe = None
+    _obs_hpu_probe = None
+
     def __init__(self, env: Environment, machine) -> None:
         self.env = env
         self.machine = machine
@@ -338,8 +351,11 @@ class BaselineNIC:
         self.messages_received = 0
         self.messages_sent = 0
         self.rx_orphan_packets = 0
-        # Drop any instance-level fault hook back to the class default.
+        # Drop any instance-level fault/observer hooks back to the class
+        # defaults.
         self.__dict__.pop("_handler_fault", None)
+        self.__dict__.pop("_obs_msg_probe", None)
+        self.__dict__.pop("_obs_hpu_probe", None)
 
     @property
     def pending_rx(self) -> int:
@@ -507,6 +523,8 @@ class BaselineNIC:
             # A 1-element AllOf is just its event; skip the extra hop.
             yield evs[0] if len(evs) == 1 else self.env.all_of(evs)
         self.messages_received += 1
+        if self._obs_msg_probe is not None:
+            self._obs_msg_probe(self.rank, self.env.now, msg)
         if msg.kind in ("put", "atomic"):
             yield from self._complete_put(state)
         elif msg.kind == "get":

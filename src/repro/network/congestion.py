@@ -166,6 +166,15 @@ class CongestionFabric(Fabric):
     (packets buffered per port) and ``routing`` (``"ecmp"``/``"dmodk"``).
     """
 
+    #: Observer probe slot (see :mod:`repro.obs`): an attached observer
+    #: sets an *instance* attribute ``(link, now_ps, wait_ps, pkt) ->
+    #: None`` called synchronously after every link admission decision
+    #: (``wait_ps < 0`` means the packet was tail-dropped).  Admission
+    #: runs at identical positions in both walk flavours, so the probe
+    #: stream is flavour-identical; the class-level ``None`` keeps the
+    #: default path to one identity test.
+    _link_probe = None
+
     def __init__(
         self,
         env: Environment,
@@ -206,6 +215,8 @@ class CongestionFabric(Fabric):
         self._routes.clear()
         self._link_faults.clear()
         self.fault_link_down_events = 0
+        # Drop any instance-level observer probe back to the class default.
+        self.__dict__.pop("_link_probe", None)
 
     # -- routing -----------------------------------------------------------
     def _link(self, u: tuple, v: tuple) -> Link:
@@ -333,6 +344,8 @@ class CongestionFabric(Fabric):
         link, _delay = route[hop]
         env = self.env
         wait = link.admit(env._now, pkt.wire_bytes * self._G, self._depth)
+        if self._link_probe is not None:
+            self._link_probe(link, env._now, wait, pkt)
         if wait < 0:
             self.packets_dropped_links += 1
             return

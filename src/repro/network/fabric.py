@@ -316,5 +316,30 @@ class Fabric:
         """Total serialization time spent by node ``nid``'s wire."""
         return self._wire[nid].busy_time if nid in self._wire else 0
 
+    def wire_stats(self, elapsed_ps: Optional[int] = None) -> dict[str, dict]:
+        """Per-node egress-wire accounting, keyed by ``"wire[nid]"``.
+
+        The LogGP pipe has no interior links; its only contention points
+        are the per-node injection wires.  The schema mirrors the subset
+        of :meth:`~repro.network.congestion.Link.stats` that is
+        meaningful here (no queueing or drops on a contention-free pipe),
+        so telemetry reports keep one link-table shape across fabric
+        flavours.
+        """
+        elapsed = self.env.now if elapsed_ps is None else elapsed_ps
+        out = {}
+        for nid in sorted(self._wire):
+            wire = self._wire[nid]
+            out[f"wire[{nid}]"] = {
+                "packets": wire.jobs_served,
+                "drops": 0,
+                "max_queue": 0,
+                "wait_ns": 0.0,
+                "busy_ns": wire.busy_time / 1000.0,
+                "utilization": round(wire.busy_time / elapsed, 4)
+                if elapsed else 0.0,
+            }
+        return out
+
     def latency_ps(self, a: int, b: int) -> int:
         return self.topology.latency_ps(a, b)

@@ -1,0 +1,46 @@
+"""CLI for inspecting observability artefacts.
+
+Usage::
+
+    python -m repro.obs view report.json            # pretty-print a report
+    python -m repro.obs view report.json --json     # re-emit normalised JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.report import format_report, load_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro observability artefacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    view = sub.add_parser("view", help="pretty-print a run-telemetry report")
+    view.add_argument("report", help="path to a report JSON file")
+    view.add_argument("--json", action="store_true",
+                      help="emit normalised JSON instead of text")
+    args = parser.parse_args(argv)
+
+    try:
+        doc = load_report(args.report)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(format_report(doc))
+    except BrokenPipeError:  # |head closed the pipe; not an error
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

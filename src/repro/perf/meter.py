@@ -78,3 +78,16 @@ class KernelMeter:
     @property
     def events_per_sec(self) -> float:
         return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def stats(self) -> dict:
+        """JSON-ready measurement snapshot (telemetry reports).
+
+        Only meaningful after the metered window closed; inside the
+        window the totals have not been summed yet.
+        """
+        return {
+            "events": self.events,
+            "environments": self.environments,
+            "wall_s": round(self.wall_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+        }

@@ -193,6 +193,9 @@ class Metrics:
         # present so result schemas are stable across a loss-rate sweep).
         self.note("fault_packets_lost", fabric.fault_packets_lost)
         self.note("fault_packets_corrupted", fabric.fault_packets_corrupted)
+        # Link occupancy keys are present-but-zero on the contention-free
+        # LogGP pipe (same contract the fault keys above follow), so a
+        # result schema never changes shape with the fabric flavour.
         if hasattr(fabric, "links"):  # congestion flavour
             self.note(f"{prefix}_link_drops", fabric.total_link_drops())
             self.note(f"{prefix}_max_link_queue", fabric.max_link_queue())
@@ -201,6 +204,23 @@ class Metrics:
                 round(fabric.max_link_utilization(elapsed_ps), 4),
             )
             self.note(f"{prefix}_links_down", fabric.fault_link_down_events)
+        else:
+            self.note(f"{prefix}_link_drops", 0)
+            self.note(f"{prefix}_max_link_queue", 0)
+            self.note(f"{prefix}_max_link_utilization", 0.0)
+            self.note(f"{prefix}_links_down", 0)
+
+    def observe_occupancy(self, occupancy, elapsed_ps: int) -> None:
+        """Fold an observer's occupancy accounting into ``occ_*`` notes.
+
+        ``occupancy`` is a :class:`repro.obs.occupancy.OccupancyAccumulator`
+        (duck-typed: anything with ``category_busy_fracs``).  Every
+        category key is always present — zero when the run recorded no
+        span of that category — so summaries keep one shape whether or
+        not handlers/DMA/host work ran.
+        """
+        for key, value in occupancy.category_busy_fracs(elapsed_ps).items():
+            self.note(key, value)
 
     def first_completion_after(self, t_ps: int) -> Optional[int]:
         """Earliest logged completion at or after ``t_ps`` (recovery time).
@@ -387,6 +407,11 @@ class WindowedMetrics:
         self.window_ps = window_ps
         self.sketch_capacity = sketch_capacity
         self._series: dict[Optional[str], dict[int, _WindowBin]] = {None: {}}
+        #: Per-resource busy picoseconds per window (resource → bin → ps),
+        #: fed by :meth:`observe_busy` (the observability layer's
+        #: time-resolved occupancy).  Exact integer arithmetic: a span is
+        #: split across the windows it overlaps, never sampled.
+        self._occ: dict[str, dict[int, int]] = {}
 
     # -- observation -------------------------------------------------------
     def bin_index(self, t_ps: int) -> int:
@@ -423,9 +448,44 @@ class WindowedMetrics:
         if depth > b.queue_max:
             b.queue_max = depth
 
+    def observe_busy(self, resource: str, start_ps: int, end_ps: int) -> None:
+        """Credit a busy interval ``[start_ps, end_ps)`` to ``resource``.
+
+        The span is split exactly across every window it overlaps (a
+        span longer than a window credits each full window its whole
+        width), so per-window busy fractions are exact integer
+        accounting, not samples.
+        """
+        if start_ps < 0 or end_ps < start_ps:
+            raise ValueError(
+                f"bad busy interval [{start_ps}, {end_ps}) for {resource!r}")
+        occ = self._occ.setdefault(resource, {})
+        w = self.window_ps
+        idx = start_ps // w
+        while start_ps < end_ps:
+            edge = (idx + 1) * w
+            occ[idx] = occ.get(idx, 0) + (min(end_ps, edge) - start_ps)
+            start_ps = edge
+            idx += 1
+
     # -- reporting ---------------------------------------------------------
     def streams(self) -> tuple[str, ...]:
         return tuple(sorted(s for s in self._series if s is not None))
+
+    def occupancy_resources(self) -> tuple[str, ...]:
+        """Resources with busy-time observations, sorted."""
+        return tuple(sorted(self._occ))
+
+    def occupancy_series(self, resource: str) -> list[float]:
+        """Per-window busy fraction for one resource (dense from t=0).
+
+        The series extends through the resource's last busy window;
+        windows with no busy time report 0.0.
+        """
+        bins = self._occ.get(resource, {})
+        n = (max(bins) + 1) if bins else 0
+        w = self.window_ps
+        return [bins.get(i, 0) / w for i in range(n)]
 
     def num_bins(self, stream: Optional[str] = None) -> int:
         bins = self._series.get(stream, {})

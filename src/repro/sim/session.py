@@ -65,6 +65,16 @@ def _pool_enabled() -> bool:
     return env_flag("REPRO_SESSION_POOL")
 
 
+#: Ambient observability capture (see :mod:`repro.obs.capture`): while a
+#: :class:`~repro.obs.capture.ObsCapture` is active it installs itself
+#: here and every :class:`Session` constructed routes through its
+#: ``prepare(spec)`` (pre-build: force tracing on) and ``attach(session)``
+#: (post-build: arm an observer) — the same global-hook pattern as
+#: ``repro.des.engine._METER``.  ``None`` (the default) adds nothing to
+#: session construction.
+_OBS_HOOK = None
+
+
 def _pool_clear() -> None:
     """Drop every pooled session (test isolation)."""
     _POOL.clear()
@@ -183,6 +193,9 @@ class Session:
             spec = ClusterSpec(**overrides)
         elif overrides:
             spec = replace(spec, **overrides)
+        hook = _OBS_HOOK
+        if hook is not None:
+            spec = hook.prepare(spec)
         self.spec = spec
         self.cluster: Cluster = spec.build()
         self.channels: list[Channel] = []
@@ -191,6 +204,10 @@ class Session:
         self.stalled_rx: dict[int, int] = {}
         self._closed = False
         self._pool_key: Optional[tuple] = None
+        #: The attached observer, if any (see :meth:`attach_observer`).
+        self.observer = None
+        if hook is not None:
+            hook.attach(self)
 
     # -- convenience constructors -----------------------------------------
     @classmethod
@@ -203,7 +220,10 @@ class Session:
         meantime may have advanced (construction restarts it too, so reuse
         and fresh build agree).
         """
-        key = spec.pool_key() if _pool_enabled() else None
+        # An ambient capture must see every session built under it; the
+        # pool hands back clusters without running __init__, so bypass it.
+        key = (spec.pool_key()
+               if _pool_enabled() and _OBS_HOOK is None else None)
         if key is not None:
             stack = _POOL.get(key)
             if stack:
@@ -295,6 +315,24 @@ class Session:
         """
         from repro.faults.injector import FaultInjector  # avoid cycle
         return FaultInjector(self, plan)
+
+    # -- observability ------------------------------------------------------
+    def attach_observer(self, config: Any = None):
+        """Arm an observability :class:`~repro.obs.observer.Observer`.
+
+        Requires a traced session (``ClusterSpec(trace=True)``) — the
+        observer is a pure reader of the span stream and the probe
+        points, so without a timeline there is nothing to observe.
+        Returns the live observer (occupancy accounting, Perfetto
+        export, report building).  With no observer attached, every
+        probe slot stays at its class-level ``None`` and the default
+        path schedules exactly the pre-observability kernel events —
+        golden traces stay byte-identical.
+        """
+        from repro.obs.observer import Observer  # avoid cycle
+        observer = Observer(self, config)
+        self.observer = observer
+        return observer
 
     # -- run control -------------------------------------------------------
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:

@@ -1,0 +1,140 @@
+"""Perfetto exporter: trace_event schema, track mapping, determinism."""
+
+import json
+
+from repro.obs import ObsCapture, ObsConfig, trace_events, trace_json
+from repro.portals.matching import MatchEntry
+from repro.sim import ClusterSpec, Session
+from repro.sim.drivers import OpenLoopDriver
+
+TAG = 40
+
+
+def _observed_incast(fanin: int = 2, count: int = 4):
+    spec = ClusterSpec(nodes=fanin + 1, config="int", fabric="congestion",
+                      link_queue_depth=64, trace=True)
+    with Session(spec) as sess:
+        obs = sess.attach_observer()
+        sess.install(fanin, MatchEntry(match_bits=TAG, length=1 << 30))
+        drivers = [
+            OpenLoopDriver(sess, source=source, target=fanin, rate_mmps=4.0,
+                           count=count, size=2048, match_bits=TAG,
+                           seed=source + 1)
+            for source in range(fanin)
+        ]
+        for driver in drivers:
+            driver.start()
+        sess.drain()
+        return obs
+
+
+def _validate_schema(events: list) -> None:
+    assert events
+    last_ts: dict[tuple, float] = {}
+    metadata_done = False
+    for ev in events:
+        for key in ("ph", "pid", "tid", "name"):
+            assert key in ev, f"missing {key!r}: {ev}"
+        if ev["ph"] == "M":
+            assert not metadata_done, "metadata after timed events"
+            continue
+        metadata_done = True
+        assert "ts" in ev and ev["ts"] >= 0.0
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0.0
+            track = (ev["pid"], ev["tid"])
+            assert ev["ts"] >= last_ts.get(track, -1.0), (
+                f"non-monotone ts on {track}")
+            last_ts[track] = ev["ts"]
+
+
+def test_exported_events_validate_and_cover_every_stream():
+    obs = _observed_incast()
+    events = trace_events([obs])
+    _validate_schema(events)
+    phases = {ev["ph"] for ev in events}
+    assert {"M", "X", "C", "i"} <= phases
+    # Span count and timestamps mirror the timeline exactly.
+    spans = [ev for ev in events if ev["ph"] == "X"]
+    assert len(spans) == len(obs.timeline.spans)
+    assert sum(ev["ts"] for ev in spans) == \
+        sum(s.start / 1e6 for s in obs.timeline.spans)
+    # Link-queue counters live on the fabric pseudo-process.
+    counters = [ev for ev in events if ev["ph"] == "C"]
+    assert any(ev["name"].startswith("queue ") for ev in counters)
+    assert len([ev for ev in counters if ev["name"].startswith("queue ")]) \
+        == len(obs.link_samples)
+
+
+def test_track_mapping_and_metadata_names():
+    obs = _observed_incast()
+    events = trace_events([obs])
+    names = {(ev["pid"], ev["tid"]): ev["args"]["name"]
+             for ev in events if ev["ph"] == "M" and
+             ev["name"] == "thread_name"}
+    # Well-known lanes land on their fixed tids for every node.
+    for (pid, tid), lane in names.items():
+        if lane == "CPU":
+            assert tid == 0
+        elif lane == "NIC":
+            assert tid == 1
+        elif lane == "NIC-tx":
+            assert tid == 2
+        elif lane == "DMA":
+            assert tid == 3
+        elif lane.startswith("HPU"):
+            assert tid == 10 + int(lane[3:])
+    procs = {ev["args"]["name"] for ev in events
+             if ev["ph"] == "M" and ev["name"] == "process_name"}
+    assert {"node 0", "node 1", "node 2", "fabric"} <= procs
+
+
+def test_multi_session_capture_gets_disjoint_pid_blocks():
+    with ObsCapture() as cap:
+        for _ in range(2):
+            with Session.pair("int", trace=True) as sess:
+                sess.install(1, MatchEntry(match_bits=7, length=1 << 20))
+                origin = sess[0]
+
+                def client():
+                    yield from origin.host_put(1, 256, match_bits=7)
+
+                sess.process(client())
+                sess.drain()
+    assert len(cap.observers) == 2
+    events = trace_events(cap.observers)
+    _validate_schema(events)
+    pids = {ev["pid"] for ev in events}
+    assert any(pid < 1000 for pid in pids)
+    assert any(pid >= 1000 for pid in pids)
+    procs = {ev["args"]["name"] for ev in events
+             if ev["ph"] == "M" and ev["name"] == "process_name"}
+    assert {"s0 node 0", "s1 node 0"} <= procs
+
+
+def test_trace_json_is_compact_sorted_and_round_trips():
+    obs = _observed_incast()
+    text = trace_json(trace_events([obs]))
+    assert ": " not in text  # compact separators — no pretty whitespace
+    doc = json.loads(text)
+    assert doc["displayTimeUnit"] == "ns"
+    assert len(doc["traceEvents"]) == len(trace_events([obs]))
+    # Serialisation is stable: same events, same bytes.
+    assert trace_json(trace_events([obs])) == text
+
+
+def test_config_off_switches_remove_counter_and_instant_events():
+    spec = ClusterSpec(nodes=3, config="int", fabric="congestion",
+                      link_queue_depth=64, trace=True)
+    with Session(spec) as sess:
+        obs = sess.attach_observer(ObsConfig(
+            link_counters=False, message_marks=False))
+        sess.install(2, MatchEntry(match_bits=TAG, length=1 << 30))
+        driver = OpenLoopDriver(sess, source=0, target=2, rate_mmps=4.0,
+                                count=4, size=2048, match_bits=TAG, seed=3)
+        driver.start()
+        sess.drain()
+        phases = {ev["ph"] for ev in trace_events([obs])}
+        assert "C" not in phases
+        assert "i" not in phases
+        assert "X" in phases
