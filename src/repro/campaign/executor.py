@@ -210,6 +210,7 @@ def _run_bounded_parallel(ctx, payloads: Sequence[tuple], workers: int,
             still_live = []
             for proc, parent, payload, attempt, deadline in live:
                 failure: Optional[str] = None
+                timed_out = False
                 if parent.poll():
                     try:
                         status, value = parent.recv()
@@ -224,6 +225,7 @@ def _run_bounded_parallel(ctx, payloads: Sequence[tuple], workers: int,
                 elif time.monotonic() >= deadline:
                     proc.terminate()
                     failure = f"exceeded {timeout_s:g}s"
+                    timed_out = True
                 else:
                     still_live.append(
                         (proc, parent, payload, attempt, deadline))
@@ -232,8 +234,7 @@ def _run_bounded_parallel(ctx, payloads: Sequence[tuple], workers: int,
                 parent.close()
                 if attempt >= retries:
                     name, params = payload[0], dict(payload[1])
-                    raise (JobTimeoutError if "exceeded" in failure
-                           else RuntimeError)(
+                    raise (JobTimeoutError if timed_out else RuntimeError)(
                         f"job {name} {params!r} failed: {failure}")
                 if backoff_s > 0:
                     time.sleep(backoff_s * (2 ** attempt))

@@ -20,10 +20,11 @@ The default pending-event structure is an indexed **calendar queue**: events
 are hashed into fixed-width time buckets by ``when >> _BUCKET_SHIFT``; future
 buckets are plain append-lists (O(1) insertion) indexed by a small min-heap of
 occupied bucket ids, and the *current* bucket is heapified once when the clock
-enters it.  Bucket width is 2**16 ps ≈ 65.5 ns — sized from the observed event
-horizon of the LogGP models (per-packet gaps, overheads and match latencies
-are a few ns to a few hundred ns), so a bucket holds a handful of events and
-the common push is an append instead of an O(log n) sift.  Queue entries are
+enters it.  Bucket width is 2**20 ps ≈ 1.05 µs — wide relative to the LogGP
+models' event horizon (per-packet gaps, overheads and match latencies are a
+few ns to a few hundred ns), so near-term events heap-push straight into the
+already-heapified current bucket, while coarser timers append to future
+buckets in O(1) and are heapified at most once.  Queue entries are
 4-slot lists recycled through a free list (arena-style: a drained entry is
 reused by the next push instead of allocating).  Total order is exactly the
 classic ``(time, priority, seq)`` triple — ``seq`` is unique, so bucket-local
@@ -800,11 +801,26 @@ class Environment:
                 self._cal_far(entry)
 
     def peek(self) -> Optional[int]:
-        """Timestamp of the next scheduled event, or None if queue is empty."""
+        """Timestamp of the next scheduled event, or None if queue is empty.
+
+        Purely observational: the calendar flavour must *not* promote a
+        future bucket here.  Committing to a current bucket before the
+        clock reaches it would misfile a later push with an earlier
+        timestamp into a lower-id far bucket, which the drain loops only
+        visit after emptying the (wrongly) current one — events would run
+        out of time order.
+        """
         if self._heap is not None:
             return self._heap[0][0] if self._heap else None
-        cur = self._cur or self._advance_bucket()
-        return cur[0][0] if cur else None
+        cur = self._cur
+        if cur:
+            return cur[0][0]
+        ids = self._bucket_ids
+        if not ids:
+            return None
+        # The earliest occupied future bucket holds the globally earliest
+        # entry, but it is an unsorted append-list — scan it.
+        return min(entry[0] for entry in self._buckets[ids[0]])
 
     def step(self) -> None:
         """Process the next scheduled event."""

@@ -173,6 +173,23 @@ class FaultInjector:
         fabric._dispatch = dispatch
         fabric._deliver = deliver
 
+        # A corrupted packet the congestion fabric tail-drops (or drops in
+        # an outage window) never reaches _deliver; purge its mark at the
+        # drop site, or the id-keyed dict grows for the rest of the run
+        # (and pins the packet alive, inviting id reuse).  The loggp
+        # fabric has no _enter and never drops.
+        original_enter = getattr(fabric, "_enter", None)
+        if original_enter is not None:
+
+            def enter(pkt, route, hop) -> None:
+                before = fabric.packets_dropped_links
+                original_enter(pkt, route, hop)
+                if (fabric.packets_dropped_links != before and corrupted
+                        and corrupted.get(id(pkt)) is pkt):
+                    del corrupted[id(pkt)]
+
+            fabric._enter = enter
+
     def _arm_handler_faults(self, faults) -> None:
         by_rank: dict[int, list] = {}
         for f in faults:

@@ -37,6 +37,13 @@ def _sleepy(sleep_s: float, seed: int) -> dict:
     return {"slept": sleep_s}
 
 
+@scenario("_test_exceeder", params=[
+    Param("seed", int, default=1),
+], description="test helper: raises with 'exceeded' in the message")
+def _exceeder(seed: int) -> dict:
+    raise RuntimeError("capacity exceeded")
+
+
 def _flaky_jobs(tmp_path, fail_attempts=1):
     marker = str(tmp_path / "attempts.txt")
     return marker, plan_points(
@@ -114,6 +121,14 @@ class TestJobTimeout:
     def test_invalid_timeout_rejected(self):
         with pytest.raises(ValueError):
             run_jobs([], job_timeout_s=0.0)
+
+    def test_error_mentioning_exceeded_is_not_a_timeout(self):
+        """Timeout-vs-error classification must not sniff the message: a
+        scenario failure whose text contains 'exceeded' is still an error."""
+        jobs = plan_points("_test_exceeder", [{}])
+        with pytest.raises(RuntimeError, match="capacity exceeded") as ei:
+            run_jobs(jobs, workers=2, job_timeout_s=30.0)
+        assert not isinstance(ei.value, JobTimeoutError)
 
 
 class TestCliFlags:

@@ -96,6 +96,41 @@ def test_timeout_events_identical_across_flavours(ops):
     assert logs["calendar"] == logs["heap"]
 
 
+def test_peek_is_non_mutating():
+    """peek() must not promote a future bucket to current.
+
+    Regression: peek() used to advance the calendar's current bucket, so a
+    subsequent earlier-timestamped push landed in a lower-id far bucket that
+    drained *after* the wrongly-current one — events ran out of order and
+    the clock moved backwards.
+    """
+    for flavour in ("calendar", "heap"):
+        env = _make_env(flavour)
+        log = []
+        env.schedule_fn(5_000_000, lambda: log.append(("far", env.now)))
+        assert env.peek() == 5_000_000
+        assert env.peek() == 5_000_000  # idempotent
+        env.schedule_fn(1_000, lambda: log.append(("near", env.now)))
+        assert env.peek() == 1_000
+        env.run()
+        assert log == [("near", 1_000), ("far", 5_000_000)]
+
+
+def test_peek_interleaved_with_drain():
+    """peek() between steps agrees across flavours and stays observational."""
+    for flavour in ("calendar", "heap"):
+        env = _make_env(flavour)
+        clocks = []
+        for delay in (7, 70, 7_000, 70_000_000):
+            env.schedule_fn(delay, lambda: clocks.append(env.now))
+        while env.peek() is not None:
+            nxt = env.peek()
+            env.step()
+            assert env.now == nxt
+        assert clocks == sorted(clocks) == [7, 70, 7_000, 70_000_000]
+        assert env.peek() is None
+
+
 def test_flavour_selection_and_escape_hatch():
     assert _make_env("calendar")._heap is None
     assert _make_env("heap")._heap == []

@@ -99,6 +99,21 @@ class TestPacketCorruption:
             # or stalled receive-side accounting.
             assert fabric.rx_orphan_packets() == 0
 
+    def test_corruption_mark_purged_when_packet_dropped_en_route(self):
+        """A corrupted packet the fabric drops never reaches _deliver; its
+        mark must be purged at the drop site, not pinned for the run."""
+        spec = ClusterSpec(nodes=2, config="int", fabric="congestion")
+        with Session(spec) as sess:
+            inj = sess.attach_faults(FaultPlan(faults=(
+                PacketCorrupt(1.0),
+                LinkDown(pattern="->host1", at_ns=0.0, duration_ns=1e9),
+            ), seed=1))
+            sess.install(1, MatchEntry(match_bits=TAG, length=1 << 30))
+            _drive(sess, count=8)
+            fabric = sess.cluster.fabric
+            assert fabric.total_fault_link_drops() > 0
+            assert not inj._corrupted
+
 
 class TestLinkFaults:
     def test_link_faults_require_congestion_fabric(self):
