@@ -43,6 +43,7 @@ BUILTIN_SCENARIO_MODULES = (
     "repro.apps.simulator",
     "repro.usecases.kvstore",
     "repro.sim.scenarios",
+    "repro.sim.serving",
     "repro.faults.scenarios",
     "repro.traffic.scenarios",
 )

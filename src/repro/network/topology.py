@@ -19,7 +19,7 @@ cross-validate the arithmetic against real shortest paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import networkx as nx
@@ -66,6 +66,41 @@ class FatTree:
     @property
     def capacity(self) -> int:
         return self.radix**3 // 4
+
+    @property
+    def num_pods(self) -> int:
+        """Pods actually populated by the linear host placement."""
+        return -(-self.nhosts // self.hosts_per_pod)
+
+    @property
+    def num_edge_switches(self) -> int:
+        """Edge switches actually populated by the linear host placement."""
+        return -(-self.nhosts // self.hosts_per_edge)
+
+    @property
+    def num_core_switches(self) -> int:
+        return (self.radix // 2) ** 2
+
+    @classmethod
+    def for_hosts(cls, nhosts: int,
+                  params: Optional[NetworkParams] = None) -> "FatTree":
+        """The smallest fat tree (by switch radix) holding ``nhosts``.
+
+        Picks the minimum even radix whose ``k³/4`` capacity covers the
+        host count — radix 4 carries 16 hosts, radix 8 carries 128,
+        radix 36 (the paper's switches) carries 11,664 — and rebuilds
+        ``params`` with that radix, so multi-pod clusters of hundreds to
+        thousands of hosts are one call instead of radix arithmetic.
+        """
+        if nhosts < 1:
+            raise ValueError("need at least one host")
+        params = params if params is not None else NetworkParams()
+        radix = 2
+        while radix**3 // 4 < nhosts:
+            radix += 2
+        if radix != params.switch_radix:
+            params = replace(params, switch_radix=radix)
+        return cls(params=params, nhosts=nhosts)
 
     def edge_switch_of(self, host: int) -> int:
         self._check_host(host)

@@ -1,6 +1,6 @@
 """The perf basket: fixed scenario mixes whose throughput we track per PR.
 
-Six baskets cover the simulator's load profiles:
+Seven baskets cover the simulator's load profiles:
 
 * **small-message** — message-rate-bound pingpongs (64 B), every protocol;
 * **large-message** — bandwidth-bound 64 KiB pingpongs (16 packets/msg),
@@ -11,7 +11,10 @@ Six baskets cover the simulator's load profiles:
 * **congestion** — incast and permutation mixes on the congestion fabric
   (per-link routed walks dominate; added with the fabric in PR 4);
 * **kernel-ops** — pure event-queue churn with no model code, isolating
-  the calendar/heap core itself (added with the calendar queue in PR 6).
+  the calendar/heap core itself (added with the calendar queue in PR 6);
+* **serving** — million-client population serving: fluid arrival
+  callbacks, streaming sketch inserts, Zipf draws, windowed SLO tracking
+  (added with the population driver in PR 10).
 
 ``run_baskets`` executes each basket under a :class:`KernelMeter` and
 reports wall seconds, kernel events, and events/sec.  ``python -m
@@ -137,6 +140,25 @@ def _kernel_ops(scale: int) -> None:
         env.run()
 
 
+def _serving(scale: int) -> None:
+    """Million-client serving mixes on the aggregated population stack.
+
+    Exercises the paths the other baskets never touch: fluid arrival
+    callbacks (machine-repairman rate engine), streaming sketch inserts
+    on every latency record, Zipf key draws, and windowed SLO tracking.
+    The population stays at the scenario default (10^6 clients) — the
+    whole point is that cost scales with requests, not clients.
+    """
+    from repro.campaign.registry import get_scenario
+
+    kv = get_scenario("kv_serving")
+    tenants = get_scenario("tenant_overload")
+    for rep in range(scale):
+        kv.run({"requests": 1500, "window_ns": 60_000.0, "seed": 3 + rep})
+        tenants.run({"tenants": 2, "population": 50_000, "requests": 600,
+                     "window_ns": 40_000.0, "seed": 3 + rep})
+
+
 #: name -> (workload fn taking a scale factor, full-run scale, tiny scale)
 #: Tiny scales are sized so each measurement window is tens of ms at least;
 #: shorter windows make events/sec hostage to a single scheduler preemption.
@@ -147,6 +169,7 @@ BASKETS: dict[str, tuple[Callable[[int], None], int, int]] = {
     "app-scale": (_app_scale, 6, 1),
     "congestion": (_congestion, 12, 1),
     "kernel-ops": (_kernel_ops, 120, 8),
+    "serving": (_serving, 10, 1),
 }
 
 

@@ -7,13 +7,21 @@ the reproduction:
 ``session``    :class:`ClusterSpec` + :class:`Session` — declarative
                cluster construction, validated channel/ME installation,
                run control, teardown
-``drivers``    :class:`OpenLoopDriver` / :class:`ClosedLoopDriver` —
-               composable load generators over any installed channel
+``drivers``    :class:`OpenLoopDriver` / :class:`ClosedLoopDriver` /
+               :class:`PopulationDriver` — composable load generators
+               over any installed channel (the population driver scales
+               a closed loop to millions of clients as rate, not
+               objects)
 ``metrics``    :class:`Metrics` / :class:`LatencyStats` — per-stream
-               throughput, completion counts, drops, latency percentiles
+               throughput, completion counts, drops, latency
+               percentiles; fixed-memory via the shared
+               :class:`QuantileSketch` (``streaming=True``)
+``zipf``       :class:`ZipfSampler` — seeded rejection-free skewed key
+               sampling for serving workloads
 ``scenarios``  the load-scenario family registered with the campaign
                (``pingpong_open_load``, ``kvstore_load``,
-               ``mixed_tenants``)
+               ``mixed_tenants``; serving scale lives in
+               :mod:`repro.sim.serving`)
 
 Quick start::
 
@@ -26,7 +34,12 @@ Quick start::
         sess.drain()
 """
 
-from repro.sim.drivers import ClosedLoopDriver, OpenLoopDriver, SizeMix
+from repro.sim.drivers import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    PopulationDriver,
+    SizeMix,
+)
 from repro.sim.metrics import (
     LatencyStats,
     Metrics,
@@ -35,6 +48,7 @@ from repro.sim.metrics import (
     percentile_ps,
 )
 from repro.sim.session import ClusterSpec, Session
+from repro.sim.zipf import ZipfSampler
 
 __all__ = [
     "ClosedLoopDriver",
@@ -42,9 +56,11 @@ __all__ = [
     "LatencyStats",
     "Metrics",
     "OpenLoopDriver",
+    "PopulationDriver",
     "QuantileSketch",
     "Session",
     "SizeMix",
     "WindowedMetrics",
+    "ZipfSampler",
     "percentile_ps",
 ]

@@ -1,4 +1,4 @@
-"""Composable workload drivers: open-loop and closed-loop load generators.
+"""Composable workload drivers: open-loop, closed-loop, and population load.
 
 A driver turns an installed channel (or any matching entry) into *load*:
 
@@ -7,11 +7,17 @@ A driver turns an installed channel (or any matching entry) into *load*:
   independent of completions — the canonical way to find saturation;
 * :class:`ClosedLoopDriver` — N concurrent clients, each issuing the next
   request only after the previous one completed, with optional think time
-  — the canonical way to model a population of users.
+  — the canonical way to model a population of users;
+* :class:`PopulationDriver` — the same closed-loop *population* expressed
+  as a rate instead of objects: one aggregated arrival process whose rate
+  is (idle clients × load profile) / think time, spawning per-request
+  state only while a request is in flight — the way to model millions of
+  users without millions of Python objects.
 
-Both measure **request latency** from the moment the request is issued
-(client CPU queueing included) to the arrival of the Portals ACK back at
-the initiator, and feed a :class:`~repro.sim.metrics.Metrics` sink.
+All of them share :class:`~repro.sim.driver_core.DriverCore`: request
+latency measured from the moment the request is issued (client CPU
+queueing included) to the arrival of the Portals ACK back at the
+initiator, fed into a :class:`~repro.sim.metrics.Metrics` sink.
 Determinism: every random draw comes from ``random.Random`` instances
 seeded from the driver's ``seed`` parameter — never the process-global RNG
 — so a driver run is reproducible regardless of executor seeding, worker
@@ -37,270 +43,28 @@ is preserved bit-for-bit.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from functools import partial
-from typing import Any, Callable, Generator, Optional, Sequence, Union
+from typing import Any, Callable, Generator, Optional, Sequence
 
-from repro.des.engine import Event, Process
-from repro.portals.events import EventQueue
-from repro.portals.ni import MemoryDescriptor
-from repro.sim.metrics import Metrics
+from repro.des.engine import Process
+from repro.sim.driver_core import (_PS_PER_MMPS, DriverCore, PendingRequest,
+                                   SizeMix)
 
-__all__ = ["ClosedLoopDriver", "OpenLoopDriver", "SizeMix", "dedup_channel"]
+__all__ = [
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+    "PopulationDriver",
+    "SizeMix",
+    "dedup_channel",
+]
 
-#: 1 million messages/second expressed as a picosecond interarrival.
-_PS_PER_MMPS = 1_000_000
-
-
-@dataclass(frozen=True)
-class SizeMix:
-    """A weighted message-size distribution sampled per request."""
-
-    sizes: tuple[int, ...]
-    weights: Optional[tuple[float, ...]] = None
-
-    def __post_init__(self) -> None:
-        if not self.sizes:
-            raise ValueError("empty size mix")
-        if any(s < 0 for s in self.sizes):
-            raise ValueError("negative message size")
-        if self.weights is not None and len(self.weights) != len(self.sizes):
-            raise ValueError("weights/sizes length mismatch")
-
-    @classmethod
-    def fixed(cls, nbytes: int) -> "SizeMix":
-        return cls(sizes=(nbytes,))
-
-    def sample(self, rng: random.Random) -> int:
-        if len(self.sizes) == 1:
-            return self.sizes[0]
-        return rng.choices(self.sizes, weights=self.weights)[0]
+# Pre-split names: the measurement/reliability core lived in this module
+# as ``_DriverBase``; downstream code (traffic layer, user scenarios)
+# still imports it from here.
+_DriverBase = DriverCore
+_PendingRequest = PendingRequest
 
 
-def _coerce_mix(size: Union[int, SizeMix, Sequence[int]]) -> SizeMix:
-    if isinstance(size, SizeMix):
-        return size
-    if isinstance(size, int):
-        return SizeMix.fixed(size)
-    return SizeMix(sizes=tuple(size))
-
-
-class _PendingRequest:
-    """One in-flight logical request: attempts, timer, completion gate."""
-
-    __slots__ = ("machine", "stream", "request", "target", "nbytes",
-                 "gate", "start", "seq", "md_ids", "timer", "timeout_ps",
-                 "attempt", "done")
-
-    def __init__(self, machine, stream, request, target, nbytes,
-                 gate, start, seq, timeout_ps):
-        self.machine = machine
-        self.stream = stream
-        self.request = request
-        self.target = target
-        self.nbytes = nbytes
-        self.gate = gate
-        self.start = start
-        self.seq = seq
-        self.md_ids: list[int] = []
-        self.timer = None
-        self.timeout_ps = timeout_ps
-        self.attempt = 0
-        self.done = False
-
-
-class _DriverBase:
-    """Shared request plumbing: acked puts with per-request latency."""
-
-    def __init__(
-        self,
-        session,
-        *,
-        target: int,
-        size: Union[int, SizeMix, Sequence[int]] = 64,
-        match_bits: int = 0,
-        pt_index: int = 0,
-        seed: int = 1,
-        metrics: Optional[Metrics] = None,
-        stream: str = "load",
-        make_request: Optional[Callable[[random.Random, int], dict]] = None,
-        timeout_ns: Optional[float] = None,
-        retries: int = 0,
-        backoff: float = 2.0,
-    ):
-        if timeout_ns is not None and timeout_ns <= 0:
-            raise ValueError("timeout_ns must be positive (or None)")
-        if retries < 0:
-            raise ValueError("retries cannot be negative")
-        if retries and timeout_ns is None:
-            raise ValueError("retries need a timeout_ns to trigger on")
-        if backoff < 1.0:
-            raise ValueError("backoff must be >= 1 (exponential growth)")
-        self.session = session
-        self.target = target
-        self.size_mix = _coerce_mix(size)
-        self.match_bits = match_bits
-        self.pt_index = pt_index
-        self.seed = seed
-        self.metrics = metrics if metrics is not None else Metrics()
-        self.stream = stream
-        self._make_request = make_request
-        self.timeout_ps = None if timeout_ns is None else round(timeout_ns * 1000.0)
-        self.retries = retries
-        self.backoff = backoff
-        #: In-flight bookkeeping: request serial → record until the ACK
-        #: lands (or the timer expires), reconciled by :meth:`finalize`
-        #: after the sim drains.
-        self._pending: dict[int, _PendingRequest] = {}
-        self._seq = 0
-
-    def request_kwargs(self, rng: random.Random, index: int) -> dict:
-        """The put for request ``index``; override via ``make_request``."""
-        if self._make_request is not None:
-            return self._make_request(rng, index)
-        return {
-            "target": self.target,
-            "nbytes": self.size_mix.sample(rng),
-            "match_bits": self.match_bits,
-            "pt_index": self.pt_index,
-        }
-
-    def _tracked_put(self, machine, stream: str,
-                     request: dict) -> Generator[object, object, Event]:
-        """Post one acked put; returns a gate firing when the ACK lands.
-
-        The latency clock starts when the request is issued (before the
-        client core is acquired) and stops when the Portals ACK event
-        reaches the initiator-side MD — one full offloaded round trip.
-        With ``timeout_ns`` set the gate also fires at (final) timer
-        expiry, the request recorded as a drop; with ``retries`` the
-        timer retransmits first, backing off exponentially.
-        """
-        env = machine.env
-        stats = self.metrics.stream(stream)
-        # Copy before popping: a make_request hook may return a shared or
-        # constant dict, and mutating it here would corrupt the caller's
-        # request (every put after the first losing target/nbytes).
-        request = dict(request)
-        target = request.pop("target")
-        nbytes = request.pop("nbytes")
-        seq = self._seq
-        self._seq = seq + 1
-        if self.retries:
-            # Sequence-tag the request so a dedup_channel target can
-            # recognise retransmitted copies (at-least-once delivery).
-            # Uniqueness spans this driver; co-targeting drivers must use
-            # distinct seeds (as the scenarios do).
-            request.setdefault(
-                "hdr_data",
-                ((self.seed & 0xFFFF) << 40) | ((machine.rank & 0xFF) << 32) | seq,
-            )
-        pend = _PendingRequest(machine, stream, request, target, nbytes,
-                               env.event(), env.now, seq, self.timeout_ps)
-        stats.start()
-        self._pending[seq] = pend
-        yield from self._issue_attempt(pend)
-        return pend.gate
-
-    def _issue_attempt(self, pend: _PendingRequest) -> Generator:
-        """One transmission attempt: fresh MD/EQ, ACK callback, timer."""
-        machine = pend.machine
-        env = machine.env
-        eq = EventQueue(capacity=4, name=f"drv[{machine.rank}]")
-        md = machine.bind_md(MemoryDescriptor(event_queue=eq))
-        pend.md_ids.append(md.md_id)
-        eq.on_next(partial(self._on_ack, pend))
-        if pend.timeout_ps is not None:
-            pend.timer = env.schedule_callback(
-                pend.timeout_ps, partial(self._expire, pend))
-        yield from machine.host_put(pend.target, pend.nbytes, ack=True,
-                                    md=md, **pend.request)
-
-    def _on_ack(self, pend: _PendingRequest, _event) -> None:
-        """First ACK wins; late duplicates (other attempts) are no-ops."""
-        if pend.done:
-            return
-        pend.done = True
-        env = pend.machine.env
-        if pend.timer is not None:
-            pend.timer.cancel()
-            pend.timer = None
-        latency = env.now - pend.start
-        self.metrics.stream(pend.stream).record(latency, pend.nbytes)
-        self._retire(pend)
-        log = self.metrics.completion_log
-        if log is not None:
-            log.append(env.now)
-        windowed = self.metrics.windowed
-        if windowed is not None:
-            windowed.observe_completion(env.now, latency, pend.nbytes,
-                                        stream=pend.stream)
-        pend.gate.succeed(env.now)
-
-    def _expire(self, pend: _PendingRequest) -> None:
-        """Per-request timer fired: retransmit, or record the drop."""
-        if pend.done:
-            return
-        env = pend.machine.env
-        stats = self.metrics.stream(pend.stream)
-        stats.timeouts += 1
-        if pend.attempt < self.retries:
-            pend.attempt += 1
-            stats.retransmits += 1
-            pend.timeout_ps = round(pend.timeout_ps * self.backoff)
-            env.process(self._issue_attempt(pend),
-                        name=f"rexmit[{pend.stream}#{pend.seq}]")
-            return
-        pend.done = True
-        pend.timer = None
-        stats.drop()
-        self._retire(pend)
-        self.metrics.bump("lost_requests", 1)
-        windowed = self.metrics.windowed
-        if windowed is not None:
-            windowed.observe_drop(env.now, stream=pend.stream)
-        pend.gate.succeed(env.now)
-
-    def _retire(self, pend: _PendingRequest) -> None:
-        mds = pend.machine.ni.mds
-        for md_id in pend.md_ids:
-            mds.pop(md_id, None)  # keep the MD table bounded
-        self._pending.pop(pend.seq, None)
-
-    def finalize(self) -> int:
-        """Reconcile requests whose ACK never arrived; call after draining.
-
-        A message dropped at the target (no match, flow control) is never
-        ACKed — like real Portals, the initiator sees nothing.  Once the
-        DES has quiesced that silence is definitive, so every still-pending
-        request is recorded as a drop, its MD is unbound, and (closed
-        loop) its client is known to be permanently stalled.  Returns the
-        number of lost requests.  With ``timeout_ns`` set the per-request
-        timers already converted silence into drops *during* the run, so
-        there is nothing left to reconcile here.
-        """
-        lost = 0
-        windowed = self.metrics.windowed
-        for pend in list(self._pending.values()):
-            if pend.done:
-                continue
-            pend.done = True
-            if pend.timer is not None:
-                pend.timer.cancel()
-                pend.timer = None
-            self._retire(pend)
-            self.metrics.stream(pend.stream).drop()
-            if windowed is not None:
-                windowed.observe_drop(pend.machine.env.now,
-                                      stream=pend.stream)
-            lost += 1
-        self._pending.clear()
-        if lost:
-            self.metrics.bump("lost_requests", lost)
-        return lost
-
-
-class OpenLoopDriver(_DriverBase):
+class OpenLoopDriver(DriverCore):
     """Offered-load generator: puts at ``rate_mmps`` regardless of replies.
 
     The arrival process draws exponential interarrivals (mean
@@ -355,7 +119,7 @@ class OpenLoopDriver(_DriverBase):
         # The gate resolves on ACK; open-loop clients never wait for it.
 
 
-class ClosedLoopDriver(_DriverBase):
+class ClosedLoopDriver(DriverCore):
     """N concurrent clients, each one request in flight, optional think time.
 
     Clients are assigned round-robin over ``sources`` (one simulated host
@@ -404,6 +168,184 @@ class ClosedLoopDriver(_DriverBase):
             request = self.request_kwargs(rng, index)
             gate = yield from self._tracked_put(machine, stream, request)
             yield gate
+
+
+class PopulationDriver(DriverCore):
+    """A closed-loop population represented as rate + distribution.
+
+    Models ``population`` clients in the machine-repairman form: each
+    client thinks for an exponential ``think_ns``, issues one request,
+    waits for its completion, and thinks again — but no per-client object
+    ever exists.  With ``idle`` clients thinking, the time to the next
+    arrival is exponential with rate ``idle × load_profile(t) / think``
+    (the minimum of ``idle`` i.i.d. exponential residuals), so the whole
+    population collapses to one aggregated arrival process whose state is
+    two integers.  By memorylessness, resampling the next-arrival gap
+    from the *current* rate after every state change (arrival issued,
+    completion landed) is statistically exact, not an approximation —
+    which is why the think-time distribution is fixed as exponential.
+
+    Per-request state exists only while the request is in flight
+    (``peak_in_flight`` reports the high-water mark), so memory is
+    O(concurrency), not O(population): a million-client population costs
+    the same as a hundred-client one.
+
+    ``fluid=False`` drops back to today's per-client simulation — it
+    delegates to :class:`ClosedLoopDriver` with ``clients=population``
+    (``requests`` must divide evenly), byte-identical to constructing
+    that driver directly.  Small fluid populations match the per-client
+    driver's summary statistics; the fluid form exists for populations
+    where per-client objects are the bottleneck.
+
+    ``load_profile`` (optional) maps absolute sim time in ns to a
+    non-negative rate multiplier — diurnal swings, ramps, overload
+    pulses.  It must be a pure deterministic function; it is evaluated
+    at state changes and frozen between them (exact for profiles that
+    vary slowly against the arrival scale).  ``max_in_flight`` caps
+    concurrent in-flight requests below the population — the knob that
+    keeps bounded memory *guaranteed* even when the target saturates and
+    a raw closed loop would pile up ~population pending requests.
+    """
+
+    def __init__(self, session, *, sources: Sequence[int], population: int,
+                 requests: int, think_ns: float, fluid: bool = True,
+                 load_profile: Optional[Callable[[float], float]] = None,
+                 max_in_flight: Optional[int] = None, **kwargs: Any):
+        super().__init__(session, **kwargs)
+        if not sources:
+            raise ValueError("need at least one source rank")
+        if population < 1:
+            raise ValueError("need at least one client in the population")
+        if requests < 1:
+            raise ValueError("need at least one request")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be positive (or None)")
+        self.sources = tuple(sources)
+        self.population = population
+        self.requests = requests
+        self.think_ns = think_ns
+        self.fluid = fluid
+        self.load_profile = load_profile
+        self.max_in_flight = max_in_flight
+        #: High-water mark of concurrent in-flight requests — the actual
+        #: memory footprint of the population (asserted bounded in tests).
+        self.peak_in_flight = 0
+        self._delegate: Optional[ClosedLoopDriver] = None
+        if fluid:
+            if think_ns <= 0:
+                raise ValueError(
+                    "fluid mode needs think_ns > 0 (the aggregate arrival "
+                    "rate is population/think; use ClosedLoopDriver or "
+                    "fluid=False for think-free load)"
+                )
+            self._think_ps = think_ns * 1000.0
+            self._rng = random.Random(self.seed)
+            self._issued = 0
+            self._in_flight = 0
+            self._arrival_timer = None
+        else:
+            if load_profile is not None:
+                raise ValueError(
+                    "load_profile requires fluid=True (per-client loops "
+                    "have no aggregate rate to modulate)"
+                )
+            if requests % population:
+                raise ValueError(
+                    f"requests ({requests}) must divide evenly over the "
+                    f"population ({population}) in per-client mode"
+                )
+            delegate_kwargs = dict(kwargs)
+            delegate_kwargs["metrics"] = self.metrics
+            self._delegate = ClosedLoopDriver(
+                session, sources=self.sources, clients=population,
+                requests_per_client=requests // population,
+                think_ns=think_ns, **delegate_kwargs,
+            )
+
+    def start(self):
+        """Launch the load; returns the arrival process (or client list)."""
+        if self._delegate is not None:
+            return self._delegate.start()
+        return self.session.process(self._prime(),
+                                    name=f"population[{self.stream}]")
+
+    def finalize(self) -> int:
+        if self._delegate is not None:
+            return self._delegate.finalize()
+        if self._arrival_timer is not None:
+            self._arrival_timer.cancel()
+            self._arrival_timer = None
+        return super().finalize()
+
+    # -- fluid arrival engine ---------------------------------------------
+    def _prime(self) -> Generator:
+        # A generator so session.process can host it; the real work is
+        # callback-driven (schedule_callback), which survives a million
+        # arrivals without a million live generator frames.
+        self._schedule_next()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _rate_per_ps(self) -> float:
+        """Current aggregate arrival rate (arrivals per picosecond)."""
+        idle = self.population - self._in_flight
+        if idle <= 0:
+            return 0.0
+        scale = 1.0
+        if self.load_profile is not None:
+            env = self.session.env
+            scale = self.load_profile(env.now / 1000.0)
+            if scale < 0:
+                raise ValueError(f"load_profile returned {scale} < 0")
+            # Floor at a tiny rate: with nothing in flight there is no
+            # completion to re-arm the timer, so a profile trough of
+            # exactly zero would otherwise strand the remaining requests
+            # forever.  The floor turns "off" into "very rare polls".
+            scale = max(scale, 1e-6)
+        return idle * scale / self._think_ps
+
+    def _schedule_next(self) -> None:
+        """(Re)arm the next-arrival timer from the current rate.
+
+        Called after every state change; cancelling the stale timer and
+        drawing a fresh gap from the new rate is exact for exponential
+        think times (memorylessness), and keeps exactly one timer live.
+        """
+        if self._arrival_timer is not None:
+            self._arrival_timer.cancel()
+            self._arrival_timer = None
+        if self._issued >= self.requests:
+            return
+        if (self.max_in_flight is not None
+                and self._in_flight >= self.max_in_flight):
+            return  # a completion will re-arm
+        rate = self._rate_per_ps()
+        if rate <= 0.0:
+            return  # all clients busy (or profile at zero): completion re-arms
+        gap = max(1, round(self._rng.expovariate(rate)))
+        env = self.session.env
+        self._arrival_timer = env.schedule_callback(gap, self._arrival_fired)
+
+    def _arrival_fired(self) -> None:
+        self._arrival_timer = None
+        env = self.session.env
+        index = self._issued
+        machine = self.session[self.sources[index % len(self.sources)]]
+        request = self.request_kwargs(self._rng, index)
+        self._issued += 1
+        self._in_flight += 1
+        if self._in_flight > self.peak_in_flight:
+            self.peak_in_flight = self._in_flight
+        env.process(self._one(machine, request),
+                    name=f"pop[{self.stream}#{index}]")
+        self._schedule_next()
+
+    def _one(self, machine, request: dict) -> Generator:
+        gate = yield from self._tracked_put(machine, self.stream, request)
+        yield gate
+        # ACK (or timeout-drop) landed: one client returns to thinking.
+        self._in_flight -= 1
+        self._schedule_next()
 
 
 def dedup_channel(session, rank: int, *, match_bits: int,

@@ -29,6 +29,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.sim.sketch import QuantileSketch
+
 __all__ = [
     "LatencyStats",
     "Metrics",
@@ -50,7 +52,20 @@ def percentile_ps(sorted_samples: list[int], q: float) -> int:
 
 @dataclass
 class LatencyStats:
-    """Accumulates request latencies (integer picoseconds) for one stream."""
+    """Accumulates request latencies (integer picoseconds) for one stream.
+
+    Two storage modes share one interface:
+
+    * list mode (default) keeps every sample in ``samples_ps`` and
+      reports exact nearest-rank percentiles — bit-identical to the
+      pre-streaming code;
+    * ``streaming=True`` routes samples into a :class:`QuantileSketch`
+      plus an exact running sum, so memory stays fixed no matter how
+      many requests complete.  Below ``sketch_capacity`` samples the
+      sketch is exact, so small streaming runs report the same
+      percentiles the list mode would.  Streaming summaries add a
+      ``p999_ns`` key (the tail a million-client SLO curve is about).
+    """
 
     samples_ps: list[int] = field(default_factory=list)
     bytes_total: int = 0
@@ -62,6 +77,16 @@ class LatencyStats:
     #: logical requests, so goodput is throughput net of retransmits.
     timeouts: int = 0
     retransmits: int = 0
+    #: Fixed-memory mode: samples feed ``sketch``/``sum_ps`` instead of
+    #: ``samples_ps``.  Immutable after construction — flipping it on a
+    #: stream that already holds list samples would silently drop them.
+    streaming: bool = False
+    sketch_capacity: int = 512
+    #: Exact running latency sum (streaming mode only) — the mean stays
+    #: exact even when the percentiles come from the sketch.
+    sum_ps: int = 0
+    sketch: Optional[QuantileSketch] = field(default=None, repr=False,
+                                             compare=False)
     #: Cached sorted view of ``samples_ps`` — every percentile/summary
     #: call used to re-sort the whole sample list; the cache is built on
     #: first use and invalidated by :meth:`record`.  (The length check in
@@ -70,14 +95,22 @@ class LatencyStats:
     _sorted: Optional[list[int]] = field(default=None, repr=False,
                                          compare=False)
 
+    def __post_init__(self) -> None:
+        if self.streaming and self.sketch is None:
+            self.sketch = QuantileSketch(self.sketch_capacity)
+
     def start(self) -> None:
         self.started += 1
 
     def record(self, latency_ps: int, nbytes: int = 0) -> None:
         if latency_ps < 0:
             raise ValueError(f"negative latency {latency_ps}")
-        self.samples_ps.append(latency_ps)
-        self._sorted = None
+        if self.streaming:
+            self.sketch.add(latency_ps)
+            self.sum_ps += latency_ps
+        else:
+            self.samples_ps.append(latency_ps)
+            self._sorted = None
         self.completed += 1
         self.bytes_total += nbytes
 
@@ -88,12 +121,19 @@ class LatencyStats:
     def in_flight(self) -> int:
         return self.started - self.completed - self.dropped
 
+    @property
+    def sample_count(self) -> int:
+        """Recorded latency samples, whichever mode holds them."""
+        return self.sketch.count if self.streaming else len(self.samples_ps)
+
     def _ordered(self) -> list[int]:
         if self._sorted is None or len(self._sorted) != len(self.samples_ps):
             self._sorted = sorted(self.samples_ps)
         return self._sorted
 
     def percentile_ns(self, q: float) -> float:
+        if self.streaming:
+            return self.sketch.percentile(q) / 1000.0
         return percentile_ps(self._ordered(), q) / 1000.0
 
     def summary(self, elapsed_ps: Optional[int] = None) -> dict:
@@ -106,7 +146,16 @@ class LatencyStats:
             "timeouts": self.timeouts,
             "retransmits": self.retransmits,
         }
-        if self.samples_ps:
+        if self.streaming:
+            if self.sketch.count:
+                out.update(
+                    p50_ns=self.sketch.percentile(0.50) / 1000.0,
+                    p99_ns=self.sketch.percentile(0.99) / 1000.0,
+                    p999_ns=self.sketch.percentile(0.999) / 1000.0,
+                    max_ns=self.sketch.max / 1000.0,
+                    mean_ns=self.sum_ps / self.sketch.count / 1000.0,
+                )
+        elif self.samples_ps:
             ordered = self._ordered()
             out.update(
                 p50_ns=percentile_ps(ordered, 0.50) / 1000.0,
@@ -137,7 +186,14 @@ class Metrics:
     at a portal table) that ride along into the same result dict.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, streaming: bool = False,
+                 sketch_capacity: int = 512) -> None:
+        #: Default storage mode for streams created by :meth:`stream` —
+        #: ``streaming=True`` gives every stream a fixed-memory
+        #: :class:`QuantileSketch` instead of an unbounded sample list
+        #: (the population-scenario default; see :class:`LatencyStats`).
+        self.streaming = streaming
+        self.sketch_capacity = sketch_capacity
         self.streams: dict[str, LatencyStats] = {}
         self.notes: dict[str, float] = {}
         #: Opt-in completion-timestamp log (integer ps, append order):
@@ -156,7 +212,10 @@ class Metrics:
         try:
             return self.streams[name]
         except KeyError:
-            stats = self.streams[name] = LatencyStats()
+            stats = self.streams[name] = LatencyStats(
+                streaming=self.streaming,
+                sketch_capacity=self.sketch_capacity,
+            )
             return stats
 
     def note(self, name: str, value: float) -> None:
@@ -168,10 +227,24 @@ class Metrics:
 
     def observe_pt_drops(self, machine, pt_index: int = 0,
                          prefix: str = "pt") -> None:
-        """Snapshot a portal-table entry's drop accounting into notes."""
-        pt = machine.ni.pt(pt_index)
-        self.bump(f"{prefix}_dropped_messages", pt.dropped_messages)
-        self.bump(f"{prefix}_dropped_bytes", pt.dropped_bytes)
+        """Snapshot a portal-table entry's drop accounting into notes.
+
+        The keys are always present — zero when the portal index was
+        never allocated on this machine (e.g. a pure-sender node in a
+        heterogeneous cluster) — following the same present-but-zero
+        convention :meth:`observe_fabric` uses, so result schemas never
+        change shape with the node's role.
+        """
+        from repro.portals.types import PortalsError
+        try:
+            pt = machine.ni.pt(pt_index)
+        except PortalsError:
+            dropped_messages = dropped_bytes = 0
+        else:
+            dropped_messages = pt.dropped_messages
+            dropped_bytes = pt.dropped_bytes
+        self.bump(f"{prefix}_dropped_messages", dropped_messages)
+        self.bump(f"{prefix}_dropped_bytes", dropped_bytes)
 
     def observe_fabric(self, fabric, prefix: str = "fabric",
                        elapsed_ps: Optional[int] = None) -> None:
@@ -237,11 +310,32 @@ class Metrics:
         return min(after) if after else None
 
     def total(self) -> LatencyStats:
-        """Merged view across every stream (fresh object, order-stable)."""
-        merged = LatencyStats()
+        """Merged view across every stream (fresh object, order-stable).
+
+        If any stream is streaming the roll-up is too: streaming streams
+        sketch-merge, list streams feed their samples in append order.
+        Merge order is the sorted stream names, so the roll-up is
+        deterministic regardless of stream creation order.
+        """
+        streaming = any(s.streaming for s in self.streams.values())
+        if streaming:
+            capacity = max(s.sketch_capacity for s in self.streams.values()
+                           if s.streaming)
+            merged = LatencyStats(streaming=True, sketch_capacity=capacity)
+        else:
+            merged = LatencyStats()
         for name in sorted(self.streams):
             s = self.streams[name]
-            merged.samples_ps.extend(s.samples_ps)
+            if streaming:
+                if s.streaming:
+                    merged.sketch.merge(s.sketch)
+                    merged.sum_ps += s.sum_ps
+                else:
+                    for value in s.samples_ps:
+                        merged.sketch.add(value)
+                        merged.sum_ps += value
+            else:
+                merged.samples_ps.extend(s.samples_ps)
             merged.bytes_total += s.bytes_total
             merged.started += s.started
             merged.completed += s.completed
@@ -280,92 +374,6 @@ class Metrics:
                 )
             out[name] = value
         return out
-
-
-class QuantileSketch:
-    """Deterministic bounded-memory streaming quantile sketch.
-
-    A KLL-style compactor chain: level ``i`` holds samples of weight
-    ``2**i``; when level 0 fills to ``capacity`` it is sorted and every
-    other element (alternating parity per compaction, so no systematic
-    rank bias) is promoted one level up.  Memory is bounded by
-    ``capacity`` items per level times ``log2(n / capacity)`` levels —
-    a few KiB regardless of stream length — and the compaction schedule
-    depends only on the insertion sequence, so identical streams produce
-    identical sketches on every host and worker.
-
-    While fewer than ``capacity`` samples have been added the sketch is
-    **exact** (nothing has compacted yet): small windows pay no
-    approximation at all.
-    """
-
-    __slots__ = ("capacity", "count", "min", "max", "_levels", "_parity")
-
-    def __init__(self, capacity: int = 128):
-        if capacity < 4:
-            raise ValueError(f"sketch capacity {capacity} too small (< 4)")
-        self.capacity = capacity
-        self.count = 0
-        self.min: Optional[int] = None
-        self.max: Optional[int] = None
-        self._levels: list[list[int]] = [[]]
-        self._parity = 0
-
-    def add(self, value: int) -> None:
-        if value < 0:
-            raise ValueError(f"negative sample {value}")
-        self.count += 1
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        level0 = self._levels[0]
-        level0.append(value)
-        if len(level0) >= self.capacity:
-            self._compact(0)
-
-    def _compact(self, level: int) -> None:
-        buf = self._levels[level]
-        buf.sort()
-        keep = buf[self._parity::2]
-        self._parity ^= 1
-        self._levels[level] = []
-        if level + 1 == len(self._levels):
-            self._levels.append([])
-        nxt = self._levels[level + 1]
-        nxt.extend(keep)
-        if len(nxt) >= self.capacity:
-            self._compact(level + 1)
-
-    def percentile(self, q: float) -> int:
-        """Nearest-rank percentile over the weighted retained samples."""
-        if not self.count:
-            raise ValueError("percentile of an empty sketch")
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
-        # The extremes are tracked exactly; compaction may have evicted
-        # them from the retained set, so answer them directly.
-        if q <= 0.0:
-            return self.min
-        if q >= 1.0:
-            return self.max
-        weighted = sorted(
-            (value, 1 << level)
-            for level, buf in enumerate(self._levels)
-            for value in buf
-        )
-        total = sum(w for _, w in weighted)
-        target = max(1, math.ceil(q * total))
-        cum = 0
-        for value, weight in weighted:
-            cum += weight
-            if cum >= target:
-                return value
-        return weighted[-1][0]  # pragma: no cover - target <= total
-
-    def retained(self) -> int:
-        """Samples physically held (the memory bound, for tests)."""
-        return sum(len(buf) for buf in self._levels)
 
 
 class _WindowBin:

@@ -314,7 +314,7 @@ def _mixed_tenants(tenants: int, count: int, rate_mmps: float, config: str,
         # 0.0 = tenant completed nothing (starved/blackholed) — never
         # report another tenant's latency in its place.
         out[f"{name}_p99_ns"] = (stats.percentile_ns(0.99)
-                                 if stats.samples_ps else 0.0)
+                                 if stats.sample_count else 0.0)
     return out
 
 
@@ -529,5 +529,5 @@ def _congested_tenants(tenants: int, count: int, rate_mmps: float, depth: int,
     for name in sorted(metrics.streams):
         stats = metrics.streams[name]
         out[f"{name}_p99_ns"] = (stats.percentile_ns(0.99)
-                                 if stats.samples_ps else 0.0)
+                                 if stats.sample_count else 0.0)
     return out

@@ -95,10 +95,13 @@ class ClusterSpec:
     ``fabric`` selects the transport model: ``"loggp"`` (default — the
     paper's contention-free pipe; all golden traces run here) or
     ``"congestion"`` (routed paths + per-link queues, see
-    :mod:`repro.network.congestion`).  ``link_queue_depth`` and ``routing``
-    override the matching :class:`~repro.network.loggp.NetworkParams`
-    fields without hand-building a :class:`MachineConfig`; both only
-    matter on the congestion fabric.
+    :mod:`repro.network.congestion`).  ``link_queue_depth``, ``routing``
+    and ``switch_radix`` override the matching
+    :class:`~repro.network.loggp.NetworkParams` fields without
+    hand-building a :class:`MachineConfig`; the first two only matter on
+    the congestion fabric, ``switch_radix`` sizes the ``"fattree"``
+    topology (smaller radix → more pods for the same node count — the
+    multi-pod serving clusters use radix 4–8 trees).
     """
 
     nodes: int = 2
@@ -112,6 +115,7 @@ class ClusterSpec:
     fabric: str = "loggp"
     link_queue_depth: Optional[int] = None
     routing: Optional[str] = None
+    switch_radix: Optional[int] = None
 
     def pool_key(self) -> Optional[tuple]:
         """Hashable reuse-pool key, or ``None`` when the spec is unpoolable.
@@ -133,6 +137,7 @@ class ClusterSpec:
             or self.topology != "pair"
             or self.link_queue_depth is not None
             or self.routing is not None
+            or self.switch_radix is not None
         ):
             return None
         return (self.nodes, self.config, self.nic, self.latency_ps)
@@ -145,6 +150,8 @@ class ClusterSpec:
             overrides["link_queue_depth"] = self.link_queue_depth
         if self.routing is not None:
             overrides["routing"] = self.routing
+        if self.switch_radix is not None:
+            overrides["switch_radix"] = self.switch_radix
         return config.with_network(**overrides) if overrides else config
 
     def build_topology(self, config: MachineConfig) -> Any:

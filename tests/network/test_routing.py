@@ -104,6 +104,64 @@ class TestDeterminism:
             cores.update(node for node in path if node[0] == "core")
         assert len(cores) == 1
 
+class TestMultiPod:
+    """Larger radices (hundreds of hosts, many pods): the serving-cluster
+    regime.  Routed paths must stay real edges of the materialized wiring
+    at every scale, not just the radix-4 toy tree."""
+
+    @pytest.mark.parametrize("radix,nhosts", [(6, 54), (8, 128)])
+    def test_every_hop_is_a_real_edge_at_scale(self, radix, nhosts):
+        t = tree(radix=radix, nhosts=nhosts)
+        assert t.num_pods > 2  # genuinely multi-pod, not a one-pod subset
+        graph = t.build_graph()
+        # Sampled pairs: same-edge, same-pod, and cross-pod distances all
+        # represented; full O(n²) would be slow for no extra coverage.
+        pairs = [(a, b)
+                 for a in range(0, nhosts, 7)
+                 for b in range(0, nhosts, 11) if a != b]
+        assert any(t.switch_hops(a, b) == 5 for a, b in pairs)
+        for routing in ROUTING_POLICIES:
+            for a, b in pairs:
+                for msg_id in (0, 3, 91):
+                    path = fattree_path(t, a, b, msg_id, routing=routing)
+                    assert path[0] == ("host", a)
+                    assert path[-1] == ("host", b)
+                    assert len(switches_on(path)) == t.switch_hops(a, b)
+                    for u, v in zip(path, path[1:]):
+                        assert graph.has_edge(u, v), (routing, a, b, u, v)
+
+    def test_for_hosts_picks_minimal_radix(self):
+        for nhosts, radix in [(2, 2), (16, 4), (17, 6), (100, 8), (1000, 16)]:
+            t = FatTree.for_hosts(nhosts)
+            assert t.radix == radix
+            assert t.capacity >= nhosts
+            # Minimal: the next smaller even radix cannot hold the hosts.
+            if radix > 2:
+                assert (radix - 2) ** 3 // 4 < nhosts
+
+    def test_for_hosts_preserves_other_params(self):
+        params = NetworkParams(switch_radix=36, wire_delay_ps=123_000)
+        t = FatTree.for_hosts(100, params=params)
+        assert t.radix == 8
+        assert t.params.wire_delay_ps == 123_000
+
+    def test_pod_and_switch_counts(self):
+        t = tree(radix=4, nhosts=16)
+        assert t.num_pods == 4
+        assert t.num_edge_switches == 8
+        assert t.num_core_switches == 4
+        assert tree(radix=4, nhosts=5).num_pods == 2  # ceil(5/4)
+
+    def test_ecmp_spreads_across_cores_in_a_big_tree(self):
+        t = tree(radix=8, nhosts=128)
+        cores = {
+            next(n for n in fattree_path(t, 0, 127, m) if n[0] == "core")
+            for m in range(128)
+        }
+        assert len(cores) > 4  # multipath genuinely used at scale
+
+
+class TestCrossPodConsistency:
     def test_cross_pod_core_agg_consistency(self):
         """The chosen core must attach to the chosen agg level in both pods
         (core a*(k/2)+c wires to agg index a everywhere)."""

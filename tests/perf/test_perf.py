@@ -51,7 +51,7 @@ class TestBasket:
         # Append-only: existing entries must never change or reorder.
         assert list(BASKETS) == [
             "small-message", "large-message", "storage-trace", "app-scale",
-            "congestion", "kernel-ops",
+            "congestion", "kernel-ops", "serving",
         ]
 
     def test_tiny_run_produces_document(self):

@@ -118,6 +118,25 @@ class TestMetricsRegressions:
                    for k in Metrics().summary(elapsed_ps=0))
 
 
+class TestObservePtDrops:
+    def test_unallocated_portal_emits_present_but_zero(self):
+        """A pure-sender node never allocated the portal index; the drop
+        keys must still appear (as zeros) so result schemas keep their
+        shape regardless of the node's role."""
+        with _serve_session() as sess:
+            metrics = Metrics()
+            metrics.observe_pt_drops(sess[0])  # node 0 only sends
+        assert metrics.notes["pt_dropped_messages"] == 0
+        assert metrics.notes["pt_dropped_bytes"] == 0
+
+    def test_allocated_portal_snapshots_real_counters(self):
+        with _serve_session() as sess:
+            metrics = Metrics()
+            metrics.observe_pt_drops(sess[1], prefix="server_pt")
+        assert "server_pt_dropped_messages" in metrics.notes
+        assert "server_pt_dropped_bytes" in metrics.notes
+
+
 class TestMetrics:
     def test_streams_and_total_rollup(self):
         metrics = Metrics()
